@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation / extension: the hardware support the paper asks for.
+ *
+ * Sec. VII-2 closes: "we hope that GPU architects will consider adding
+ * support for other parallel reduction operators beyond just addition
+ * and XOR." This study models that support — a fused shuffle step that
+ * carries both checksums in one 64-bit exchange and applies the
+ * modular/parity combine in one operation — and measures how much of
+ * the dual-checksum premium it reclaims on TMM (the kernel of the
+ * paper's single-vs-dual study).
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/driver.h"
+
+using namespace gpulp;
+
+int
+main()
+{
+    double scale = benchScaleFromEnv();
+    std::printf("=== Ablation: fused dual-checksum shuffle on TMM + quad "
+                "(scale %.3f) ===\n",
+                scale * 0.25);
+
+    WorkloadBench bench("tmm", scale * 0.25);
+
+    auto measure = [&](ChecksumKind kind, ReductionKind reduction) {
+        LpConfig cfg = LpConfig::naive(TableKind::QuadProbe);
+        cfg.checksum = kind;
+        cfg.reduction = reduction;
+        return bench.measure(cfg);
+    };
+    MeasuredRun modular =
+        measure(ChecksumKind::Modular, ReductionKind::ParallelShuffle);
+    MeasuredRun dual = measure(ChecksumKind::ModularParity,
+                               ReductionKind::ParallelShuffle);
+    MeasuredRun fused = measure(ChecksumKind::ModularParity,
+                                ReductionKind::ParallelFused);
+
+    TextTable table({"Configuration", "Overhead", "Shuffles/step"});
+    table.addRow({"modular only", TextTable::pct(modular.overhead), "1"});
+    table.addRow(
+        {"modular+parity (2 shuffles)", TextTable::pct(dual.overhead),
+         "2"});
+    table.addRow({"modular+parity (fused, proposed HW)",
+                  TextTable::pct(fused.overhead), "1"});
+    table.print();
+
+    double premium = dual.overhead - modular.overhead;
+    double reclaimed = dual.overhead - fused.overhead;
+    std::printf("\nDual-checksum premium: %.2f%%; fused shuffle "
+                "reclaims %.2f%% of it.\n",
+                premium * 100.0, reclaimed * 100.0);
+    std::printf("Checks:\n");
+    std::printf("  fused <= 2-shuffle dual:     %s\n",
+                fused.lp_cycles <= dual.lp_cycles ? "yes" : "no");
+    std::printf("  fused >= single checksum:    %s\n",
+                fused.lp_cycles + 1 >= modular.lp_cycles ? "yes" : "no");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Fig. 5 of the paper: execution-time overhead of naive LP
+ * (hashed checksum tables, lock-free insertion, parallel shuffle
+ * reduction) versus the uninstrumented baseline, for the quadratic
+ * probing and cuckoo tables across the eight-kernel suite.
+ *
+ * Set GPULP_SCALE in (0, 1] to shrink the grids for a quick run.
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "harness/driver.h"
+#include "paper_refs.h"
+
+using namespace gpulp;
+
+int
+main()
+{
+    double scale = benchScaleFromEnv();
+    std::printf("=== Fig. 5: naive LP overhead, Quad vs Cuckoo "
+                "(scale %.3f) ===\n",
+                scale);
+
+    auto benches = makeSuite(scale);
+    auto quad = measureSuite(benches,
+                             LpConfig::naive(TableKind::QuadProbe));
+    auto cuckoo = measureSuite(benches, LpConfig::naive(TableKind::Cuckoo));
+
+    TextTable table({"Name", "Quad", "Quad(paper)", "Cuckoo",
+                     "Cuckoo(paper)", "blocks"});
+    std::vector<double> quad_ov, cuckoo_ov;
+    for (int i = 0; i < paper::kCount; ++i) {
+        quad_ov.push_back(quad[i].overhead);
+        cuckoo_ov.push_back(cuckoo[i].overhead);
+        table.addRow({paper::kNames[i], TextTable::pct(quad[i].overhead),
+                      TextTable::num(paper::kQuadShfl[i], 2) + "%",
+                      TextTable::pct(cuckoo[i].overhead),
+                      TextTable::num(paper::kCuckooShfl[i], 2) + "%",
+                      std::to_string(quad[i].num_blocks)});
+    }
+    table.addSeparator();
+    table.addRow({"GeoMean", TextTable::pct(geomeanOverhead(quad_ov)),
+                  TextTable::num(paper::kQuadShflGmean, 1) + "%",
+                  TextTable::pct(geomeanOverhead(cuckoo_ov)),
+                  TextTable::num(paper::kCuckooShflGmean, 1) + "%", "-"});
+    table.print();
+
+    std::printf("\nShape checks (paper findings):\n");
+    std::printf("  MRI-GRIDDING hit hardest under Quad:   %s\n",
+                quad[2].overhead ==
+                        *std::max_element(quad_ov.begin(), quad_ov.end())
+                    ? "yes"
+                    : "no");
+    std::printf("  SAD hit hardest under Cuckoo:          %s\n",
+                cuckoo[4].overhead == *std::max_element(cuckoo_ov.begin(),
+                                                        cuckoo_ov.end())
+                    ? "yes"
+                    : "no");
+    std::printf("  TPACF cheapest in both (long blocks):  %s\n",
+                quad[1].overhead ==
+                            *std::min_element(quad_ov.begin(),
+                                              quad_ov.end()) &&
+                        cuckoo[1].overhead ==
+                            *std::min_element(cuckoo_ov.begin(),
+                                              cuckoo_ov.end())
+                    ? "yes"
+                    : "no");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Microbenchmark (host wall-clock): throughput of the checksum engines
+ * over a value stream. Backs the paper's checksum selection argument
+ * (Sec. IV-B): modular and parity are cheap and associative; Adler-32
+ * is markedly more expensive and order-dependent, which is why the
+ * paper rejects it for GPU LP.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/prng.h"
+#include "core/checksum.h"
+
+namespace gpulp {
+namespace {
+
+std::vector<float>
+makeValues(size_t n)
+{
+    Prng rng(0xC5);
+    std::vector<float> values(n);
+    for (auto &v : values)
+        v = rng.nextFloat(-1e6f, 1e6f);
+    return values;
+}
+
+void
+BM_ChecksumModular(benchmark::State &state)
+{
+    auto values = makeValues(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        Checksums cs = hostChecksumFloats(values, ChecksumKind::Modular);
+        benchmark::DoNotOptimize(cs);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(values.size()) * 4);
+}
+
+void
+BM_ChecksumParity(benchmark::State &state)
+{
+    auto values = makeValues(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        Checksums cs = hostChecksumFloats(values, ChecksumKind::Parity);
+        benchmark::DoNotOptimize(cs);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(values.size()) * 4);
+}
+
+void
+BM_ChecksumDual(benchmark::State &state)
+{
+    auto values = makeValues(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        Checksums cs =
+            hostChecksumFloats(values, ChecksumKind::ModularParity);
+        benchmark::DoNotOptimize(cs);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(values.size()) * 4);
+}
+
+void
+BM_ChecksumAdler32(benchmark::State &state)
+{
+    auto values = makeValues(static_cast<size_t>(state.range(0)));
+    auto bytes = std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(values.data()),
+        values.size() * 4);
+    for (auto _ : state) {
+        uint32_t cs = adler32(bytes);
+        benchmark::DoNotOptimize(cs);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(values.size()) * 4);
+}
+
+BENCHMARK(BM_ChecksumModular)->Arg(1 << 10)->Arg(1 << 16);
+BENCHMARK(BM_ChecksumParity)->Arg(1 << 10)->Arg(1 << 16);
+BENCHMARK(BM_ChecksumDual)->Arg(1 << 10)->Arg(1 << 16);
+BENCHMARK(BM_ChecksumAdler32)->Arg(1 << 10)->Arg(1 << 16);
+
+} // namespace
+} // namespace gpulp
+
+BENCHMARK_MAIN();

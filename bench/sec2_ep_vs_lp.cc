@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Reproduces the paper's framing comparison (Sec. I/II): Eager
+ * Persistency versus Lazy Persistency.
+ *
+ * "EP incurs a large overhead during normal execution, including
+ * maintenance of logs, loss of locality due to cache line flushing,
+ * and processor stalls due to persist barriers. 20-40% slowdowns are
+ * typical for EP. LP, on the other hand, has none of such overheads."
+ *
+ * Three kernels with different store densities run under three
+ * schemes — no crash support (baseline), LP with the checksum global
+ * array, and EP with undo logging + clwb + persist barriers — and the
+ * table reports execution overhead and NVM write amplification for
+ * each. EP requires flush/barrier instructions current GPUs do not
+ * have (the paper's point in Sec. IV); the simulator models them.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "common/table.h"
+#include "core/eager.h"
+#include "core/runtime.h"
+#include "workloads/workload.h"
+
+using namespace gpulp;
+
+namespace {
+
+/** A store-pattern scenario for the comparison. */
+struct Scenario {
+    const char *name;
+    LaunchConfig cfg;
+    uint32_t stores_per_thread;
+    uint32_t compute_per_store;
+};
+
+struct SchemeResult {
+    Cycles cycles = 0;
+    uint64_t nvm_writes = 0;
+};
+
+enum class Scheme { Baseline, Lazy, Eager };
+
+SchemeResult
+run(const Scenario &s, Scheme scheme)
+{
+    Device dev;
+    NvmCache nvm(dev.mem(), NvmParams{});
+    dev.attachNvm(&nvm);
+
+    const uint64_t per_thread = s.stores_per_thread;
+    const uint64_t n =
+        s.cfg.numBlocks() * s.cfg.threadsPerBlock() * per_thread;
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), n);
+
+    std::unique_ptr<LpRuntime> lp;
+    std::unique_ptr<EpRuntime> ep;
+    LpContext ctx;
+    if (scheme == Scheme::Lazy) {
+        lp = std::make_unique<LpRuntime>(dev, LpConfig::scalable(), s.cfg);
+        ctx = lp->context();
+    } else if (scheme == Scheme::Eager) {
+        ep = std::make_unique<EpRuntime>(dev, s.cfg, per_thread);
+    }
+
+    nvm.persistAll();
+    nvm.resetStats();
+    LaunchResult r = dev.launch(s.cfg, [&](ThreadCtx &t) {
+        ChecksumAccum acc(ChecksumKind::ModularParity);
+        EpRuntime::ThreadLog tlog;
+        uint64_t base = t.globalThreadIdx() * per_thread;
+        for (uint32_t i = 0; i < per_thread; ++i) {
+            t.compute(s.compute_per_store);
+            uint32_t v = static_cast<uint32_t>(base + i) * 2654435761u;
+            switch (scheme) {
+              case Scheme::Baseline:
+                t.store(out, base + i, v);
+                break;
+              case Scheme::Lazy:
+                t.store(out, base + i, v);
+                acc.protectU32(t, v);
+                break;
+              case Scheme::Eager:
+                ep->protectedStore32(t, tlog, out.addrOf(base + i), v);
+                break;
+            }
+        }
+        if (scheme == Scheme::Lazy)
+            lpCommitRegion(t, ctx, acc);
+        else if (scheme == Scheme::Eager)
+            ep->commitRegion(t);
+    });
+    nvm.persistAll(); // run-to-completion write accounting
+    return SchemeResult{r.cycles, nvm.stats().nvmLineWrites()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Sec. I/II: Eager vs Lazy Persistency ===\n");
+    std::printf("(EP: undo log + clwb + persist barriers; LP: checksum "
+                "global array + shuffle)\n\n");
+
+    const Scenario scenarios[] = {
+        {"compute-heavy (1 store/thd)", LaunchConfig(Dim3(256), Dim3(64)),
+         1, 6000},
+        {"balanced (8 stores/thd)", LaunchConfig(Dim3(256), Dim3(64)), 8,
+         900},
+        {"store-heavy (32 stores/thd)", LaunchConfig(Dim3(128), Dim3(64)),
+         32, 160},
+    };
+
+    TextTable table({"Scenario", "LP overhead", "EP overhead",
+                     "LP extra writes", "EP extra writes"});
+    bool lp_always_cheaper = true;
+    for (const Scenario &s : scenarios) {
+        SchemeResult base = run(s, Scheme::Baseline);
+        SchemeResult lazy = run(s, Scheme::Lazy);
+        SchemeResult eager = run(s, Scheme::Eager);
+        double lp_ov = overheadOf(base.cycles, lazy.cycles);
+        double ep_ov = overheadOf(base.cycles, eager.cycles);
+        auto amp = [&](uint64_t writes) {
+            return (static_cast<double>(writes) -
+                    static_cast<double>(base.nvm_writes)) /
+                   static_cast<double>(base.nvm_writes);
+        };
+        lp_always_cheaper = lp_always_cheaper && lp_ov < ep_ov;
+        table.addRow({s.name, TextTable::pct(lp_ov), TextTable::pct(ep_ov),
+                      TextTable::pct(amp(lazy.nvm_writes)),
+                      TextTable::pct(amp(eager.nvm_writes))});
+    }
+    table.print();
+
+    std::printf("\nPaper framing: EP slowdowns of 20-40%% are typical "
+                "with substantial write\namplification from logging and "
+                "flushing; LP costs ~2%% with near-zero extra\nwrites "
+                "(Sec. I, Table V, Sec. VII-3).\n");
+    std::printf("\nShape checks:\n");
+    std::printf("  LP cheaper than EP in every scenario: %s\n",
+                lp_always_cheaper ? "yes" : "no");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Table II of the paper: the number of hash-table collisions
+ * each benchmark generates while inserting its per-block checksums,
+ * for quadratic probing (occupied probes) and cuckoo hashing (eviction
+ * kicks). Collision counts are the paper's explanation for the Fig. 5
+ * outliers, so the interesting property is the correlation: benchmarks
+ * with many blocks and high load factors collide orders of magnitude
+ * more than the rest.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/driver.h"
+#include "paper_refs.h"
+
+using namespace gpulp;
+
+int
+main()
+{
+    double scale = benchScaleFromEnv();
+    std::printf("=== Table II: hash-table collisions (scale %.3f) ===\n",
+                scale);
+
+    auto benches = makeSuite(scale);
+    auto quad = measureSuite(benches,
+                             LpConfig::naive(TableKind::QuadProbe));
+    auto cuckoo = measureSuite(benches, LpConfig::naive(TableKind::Cuckoo));
+
+    TextTable table({"Name", "Quad", "Quad(paper)", "Cuckoo",
+                     "Cuckoo(paper)", "inserts"});
+    for (int i = 0; i < paper::kCount; ++i) {
+        table.addRow({paper::kNames[i],
+                      std::to_string(quad[i].store_stats.collisions),
+                      std::to_string(paper::kQuadCollisions[i]),
+                      std::to_string(cuckoo[i].store_stats.collisions),
+                      std::to_string(paper::kCuckooCollisions[i]),
+                      std::to_string(quad[i].store_stats.inserts)});
+    }
+    table.print();
+
+    std::printf("\nShape checks (paper findings):\n");
+    auto worst3 = [](const std::vector<MeasuredRun> &runs) {
+        // TMM, MRI-GRIDDING and SAD dominate the collision counts.
+        uint64_t big = runs[0].store_stats.collisions +
+                       runs[2].store_stats.collisions +
+                       runs[4].store_stats.collisions;
+        uint64_t rest = 0;
+        for (int i : {1, 3, 5, 6, 7})
+            rest += runs[i].store_stats.collisions;
+        return big > 10 * rest;
+    };
+    std::printf("  TMM+MRI-GRIDDING+SAD dominate (quad):   %s\n",
+                worst3(quad) ? "yes" : "no");
+    std::printf("  TMM+MRI-GRIDDING+SAD dominate (cuckoo): %s\n",
+                worst3(cuckoo) ? "yes" : "no");
+    std::printf("  MRI-GRIDDING collides less under cuckoo: %s\n",
+                cuckoo[2].store_stats.collisions <
+                        quad[2].store_stats.collisions
+                    ? "yes"
+                    : "no");
+    return 0;
+}

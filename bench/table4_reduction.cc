@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces Table IV of the paper: LP overhead with the warp-shuffle
+ * parallel reduction (register-to-register, zero memory traffic)
+ * versus the sequential reduction that stages per-thread checksums in
+ * global memory. The paper's headline: bandwidth-bound kernels suffer
+ * most from the no-shuffle path (SPMV: 22% -> 438%) because checksum
+ * staging competes for the DRAM bandwidth they already saturate.
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "harness/driver.h"
+#include "paper_refs.h"
+
+using namespace gpulp;
+
+namespace {
+
+LpConfig
+config(TableKind table, ReductionKind reduction)
+{
+    LpConfig cfg;
+    cfg.table = table;
+    cfg.reduction = reduction;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    double scale = benchScaleFromEnv();
+    std::printf("=== Table IV: parallel (shfl) vs sequential (noshfl) "
+                "checksum reduction (scale %.3f) ===\n",
+                scale);
+
+    auto benches = makeSuite(scale);
+    auto quad_shfl = measureSuite(
+        benches, config(TableKind::QuadProbe,
+                        ReductionKind::ParallelShuffle));
+    auto quad_no = measureSuite(
+        benches, config(TableKind::QuadProbe,
+                        ReductionKind::SequentialGlobal));
+    auto cuckoo_shfl = measureSuite(
+        benches,
+        config(TableKind::Cuckoo, ReductionKind::ParallelShuffle));
+    auto cuckoo_no = measureSuite(
+        benches,
+        config(TableKind::Cuckoo, ReductionKind::SequentialGlobal));
+
+    TextTable table({"Name", "Quad+shfl", "(paper)", "Quad+no", "(paper)",
+                     "Cuckoo+shfl", "(paper)", "Cuckoo+no", "(paper)"});
+    std::vector<double> qs, qn, cs, cn;
+    for (int i = 0; i < paper::kCount; ++i) {
+        qs.push_back(quad_shfl[i].overhead);
+        qn.push_back(quad_no[i].overhead);
+        cs.push_back(cuckoo_shfl[i].overhead);
+        cn.push_back(cuckoo_no[i].overhead);
+        table.addRow({paper::kNames[i], TextTable::pct(qs.back()),
+                      TextTable::num(paper::kQuadShfl[i], 2) + "%",
+                      TextTable::pct(qn.back()),
+                      TextTable::num(paper::kQuadNoShfl[i], 2) + "%",
+                      TextTable::pct(cs.back()),
+                      TextTable::num(paper::kCuckooShfl[i], 2) + "%",
+                      TextTable::pct(cn.back()),
+                      TextTable::num(paper::kCuckooNoShfl[i], 2) + "%"});
+    }
+    table.addSeparator();
+    table.addRow({"GeoMean", TextTable::pct(geomeanOverhead(qs)),
+                  TextTable::num(paper::kQuadShflGmean, 1) + "%",
+                  TextTable::pct(geomeanOverhead(qn)),
+                  TextTable::num(paper::kQuadNoShflGmean, 1) + "%",
+                  TextTable::pct(geomeanOverhead(cs)),
+                  TextTable::num(paper::kCuckooShflGmean, 1) + "%",
+                  TextTable::pct(geomeanOverhead(cn)),
+                  TextTable::num(paper::kCuckooNoShflGmean, 1) + "%"});
+    table.print();
+
+    std::printf("\nShape checks (paper findings):\n");
+    std::printf("  No-shuffle is worse for every kernel:        %s\n",
+                [&] {
+                    for (int i = 0; i < paper::kCount; ++i) {
+                        if (qn[i] < qs[i] || cn[i] < cs[i])
+                            return "no";
+                    }
+                    return "yes";
+                }());
+    double spmv_delta = qn[3] - qs[3];
+    bool spmv_worst = true;
+    for (int i = 0; i < paper::kCount; ++i) {
+        if (i != 3 && qn[i] - qs[i] > spmv_delta)
+            spmv_worst = false;
+    }
+    std::printf("  SPMV (bandwidth bound) blows up hardest:     %s\n",
+                spmv_worst ? "yes" : "no");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Floating-point bit manipulation used by the LP checksums.
+ *
+ * XOR (parity) checksums cannot be applied to floating-point values
+ * directly; following Fig. 2 of the paper, floats are converted to an
+ * "ordered integer" by concatenating sign, exponent and mantissa bits so
+ * that a persistency failure in either field is detectable. The paper's
+ * worked example — 3.5f converts to 1080033280 — is preserved as a unit
+ * test anchor.
+ */
+
+#ifndef GPULP_COMMON_FLOATBITS_H
+#define GPULP_COMMON_FLOATBITS_H
+
+#include <bit>
+#include <cstdint>
+
+namespace gpulp {
+
+/**
+ * Reinterpret a float's bit pattern (sign | exponent | mantissa) as a
+ * 32-bit unsigned integer. For 3.5f this yields 1080033280, matching
+ * Fig. 2 of the paper.
+ */
+constexpr uint32_t
+floatToOrderedInt(float value)
+{
+    return std::bit_cast<uint32_t>(value);
+}
+
+/** Inverse of floatToOrderedInt(). */
+constexpr float
+orderedIntToFloat(uint32_t bits)
+{
+    return std::bit_cast<float>(bits);
+}
+
+/** Reinterpret a double's bit pattern as a 64-bit unsigned integer. */
+constexpr uint64_t
+doubleToOrderedInt(double value)
+{
+    return std::bit_cast<uint64_t>(value);
+}
+
+/** Inverse of doubleToOrderedInt(). */
+constexpr double
+orderedIntToDouble(uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+/** Extract the sign bit of a float (0 or 1). */
+constexpr uint32_t
+floatSignBit(float value)
+{
+    return floatToOrderedInt(value) >> 31;
+}
+
+/** Extract the 8-bit biased exponent of a float. */
+constexpr uint32_t
+floatExponentBits(float value)
+{
+    return (floatToOrderedInt(value) >> 23) & 0xffu;
+}
+
+/** Extract the 23-bit mantissa of a float. */
+constexpr uint32_t
+floatMantissaBits(float value)
+{
+    return floatToOrderedInt(value) & 0x7fffffu;
+}
+
+} // namespace gpulp
+
+#endif // GPULP_COMMON_FLOATBITS_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Status-message and error-handling primitives for gpulp.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a gpulp bug), fatal() is for unrecoverable user errors
+ * (bad configuration), warn()/inform() report conditions without
+ * stopping the simulation.
+ */
+
+#ifndef GPULP_COMMON_LOGGING_H
+#define GPULP_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gpulp {
+
+/** Verbosity levels accepted by setLogLevel(). */
+enum class LogLevel {
+    Quiet = 0,   //!< only fatal/panic output
+    Warn = 1,    //!< warnings and above
+    Info = 2,    //!< informational messages and above
+    Debug = 3,   //!< everything, including debug traces
+};
+
+/** Set the global log verbosity. Thread-compatible, not thread-safe. */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** printf-style formatting into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit one log line with a severity tag; used by the macros below. */
+void emitLog(const char *tag, const std::string &msg);
+
+/** Print the message and abort(); never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print the message and exit(1); never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace detail
+
+} // namespace gpulp
+
+/** Internal invariant violated: print and abort (a gpulp bug). */
+#define GPULP_PANIC(...)                                                      \
+    ::gpulp::detail::panicImpl(__FILE__, __LINE__,                            \
+                               ::gpulp::detail::formatString(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error: print and exit(1). */
+#define GPULP_FATAL(...)                                                      \
+    ::gpulp::detail::fatalImpl(__FILE__, __LINE__,                            \
+                               ::gpulp::detail::formatString(__VA_ARGS__))
+
+/** Assert an invariant; panics with the condition text on failure. */
+#define GPULP_ASSERT(cond, ...)                                               \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            GPULP_PANIC("assertion failed: %s; %s", #cond,                    \
+                        ::gpulp::detail::formatString(__VA_ARGS__).c_str());  \
+        }                                                                     \
+    } while (0)
+
+/** Warn about suspicious but survivable conditions. */
+#define GPULP_WARN(...)                                                       \
+    do {                                                                      \
+        if (::gpulp::logLevel() >= ::gpulp::LogLevel::Warn) {                 \
+            ::gpulp::detail::emitLog(                                         \
+                "warn", ::gpulp::detail::formatString(__VA_ARGS__));          \
+        }                                                                     \
+    } while (0)
+
+/** Informational status messages. */
+#define GPULP_INFORM(...)                                                     \
+    do {                                                                      \
+        if (::gpulp::logLevel() >= ::gpulp::LogLevel::Info) {                 \
+            ::gpulp::detail::emitLog(                                         \
+                "info", ::gpulp::detail::formatString(__VA_ARGS__));          \
+        }                                                                     \
+    } while (0)
+
+#endif // GPULP_COMMON_LOGGING_H

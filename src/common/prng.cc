@@ -1,0 +1,99 @@
+#include "prng.h"
+
+#include "logging.h"
+
+namespace gpulp {
+
+namespace {
+
+/** SplitMix64 step, used to expand a single seed into generator state. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Prng::Prng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+    // All-zero state is the one invalid state for xoshiro; the SplitMix
+    // expansion cannot produce it for any seed, but guard regardless.
+    if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0)
+        s_[0] = 1;
+}
+
+uint64_t
+Prng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+uint64_t
+Prng::nextBelow(uint64_t bound)
+{
+    GPULP_ASSERT(bound != 0, "nextBelow bound must be nonzero");
+    // Debiased multiply-shift (Lemire); retries are vanishingly rare for
+    // the small bounds used by the workloads.
+    while (true) {
+        uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        uint64_t low = static_cast<uint64_t>(m);
+        if (low >= bound || low >= static_cast<uint64_t>(-bound) % bound)
+            return static_cast<uint64_t>(m >> 64);
+    }
+}
+
+int64_t
+Prng::nextRange(int64_t lo, int64_t hi)
+{
+    GPULP_ASSERT(lo <= hi, "nextRange requires lo <= hi");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    return lo + static_cast<int64_t>(nextBelow(span));
+}
+
+double
+Prng::nextDouble()
+{
+    // 53 high bits scaled into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float
+Prng::nextFloat(float lo, float hi)
+{
+    return lo + static_cast<float>(nextDouble()) * (hi - lo);
+}
+
+bool
+Prng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace gpulp

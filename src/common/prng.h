@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and
+ * crash-injection experiments.
+ *
+ * gpulp must be reproducible run-to-run, so all randomness flows through
+ * this xoshiro256** generator seeded explicitly by the caller. The
+ * generator satisfies the C++ UniformRandomBitGenerator requirements and
+ * can therefore be used with <random> distributions where convenient.
+ */
+
+#ifndef GPULP_COMMON_PRNG_H
+#define GPULP_COMMON_PRNG_H
+
+#include <cstdint>
+#include <limits>
+
+namespace gpulp {
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * implementation), wrapped as a value-type generator.
+ */
+class Prng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed via SplitMix64 state expansion. */
+    explicit Prng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** UniformRandomBitGenerator interface. */
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /** Next 64 random bits. */
+    uint64_t operator()() { return next(); }
+
+    /** Next 64 random bits. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform float in [lo, hi). */
+    float nextFloat(float lo, float hi);
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace gpulp
+
+#endif // GPULP_COMMON_PRNG_H

@@ -1,0 +1,80 @@
+#include "stats.h"
+
+#include <cmath>
+
+#include "logging.h"
+
+namespace gpulp {
+
+double
+geomean(std::span<const double> values)
+{
+    GPULP_ASSERT(!values.empty(), "geomean of empty span");
+    double log_sum = 0.0;
+    for (double v : values) {
+        GPULP_ASSERT(v > 0.0, "geomean requires positive values, got %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+geomeanOverhead(std::span<const double> overheads)
+{
+    GPULP_ASSERT(!overheads.empty(), "geomeanOverhead of empty span");
+    double log_sum = 0.0;
+    for (double o : overheads) {
+        double factor = 1.0 + o;
+        GPULP_ASSERT(factor > 0.0,
+                     "overhead %f implies non-positive slowdown factor", o);
+        log_sum += std::log(factor);
+    }
+    return std::exp(log_sum / static_cast<double>(overheads.size())) - 1.0;
+}
+
+double
+mean(std::span<const double> values)
+{
+    GPULP_ASSERT(!values.empty(), "mean of empty span");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+void
+Summary::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    sum_ += value;
+    ++count_;
+}
+
+double
+Summary::min() const
+{
+    GPULP_ASSERT(count_ > 0, "Summary::min on empty summary");
+    return min_;
+}
+
+double
+Summary::max() const
+{
+    GPULP_ASSERT(count_ > 0, "Summary::max on empty summary");
+    return max_;
+}
+
+double
+Summary::mean() const
+{
+    GPULP_ASSERT(count_ > 0, "Summary::mean on empty summary");
+    return sum_ / static_cast<double>(count_);
+}
+
+} // namespace gpulp

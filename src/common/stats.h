@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small statistics helpers used by the experiment harness: geometric
+ * mean (the paper's summary statistic for overheads), arithmetic mean,
+ * and a running summary accumulator.
+ */
+
+#ifndef GPULP_COMMON_STATS_H
+#define GPULP_COMMON_STATS_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpulp {
+
+/**
+ * Geometric mean of strictly positive values.
+ *
+ * Computed in log space for numerical robustness. Panics if any value
+ * is non-positive or the span is empty.
+ */
+double geomean(std::span<const double> values);
+
+/**
+ * Geometric mean of overhead *ratios* given as fractional overheads.
+ *
+ * The paper summarizes per-benchmark overhead percentages with a
+ * geometric mean of slowdown factors: gmean_i(1 + o_i) - 1. Overheads
+ * may be zero or slightly negative (measurement noise) as long as each
+ * slowdown factor stays positive.
+ */
+double geomeanOverhead(std::span<const double> overheads);
+
+/** Arithmetic mean; panics on an empty span. */
+double mean(std::span<const double> values);
+
+/**
+ * Running accumulator for min / max / mean / count over doubles.
+ */
+class Summary
+{
+  public:
+    /** Fold one observation into the summary. */
+    void add(double value);
+
+    /** Number of observations folded so far. */
+    size_t count() const { return count_; }
+
+    /** Smallest observation; panics when empty. */
+    double min() const;
+
+    /** Largest observation; panics when empty. */
+    double max() const;
+
+    /** Arithmetic mean; panics when empty. */
+    double mean() const;
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace gpulp
+
+#endif // GPULP_COMMON_STATS_H

@@ -1,0 +1,107 @@
+#include "table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "logging.h"
+
+namespace gpulp {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    GPULP_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    GPULP_ASSERT(cells.size() == headers_.size(),
+                 "row has %zu cells, table has %zu columns", cells.size(),
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_sep = [&](std::ostringstream &out) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            out << '+' << std::string(widths[c] + 2, '-');
+        }
+        out << "+\n";
+    };
+    auto emit_row = [&](std::ostringstream &out,
+                        const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            out << "| " << cell << std::string(widths[c] - cell.size() + 1,
+                                               ' ');
+        }
+        out << "|\n";
+    };
+
+    std::ostringstream out;
+    emit_sep(out);
+    emit_row(out, headers_);
+    emit_sep(out);
+    for (const auto &row : rows_) {
+        if (row.empty())
+            emit_sep(out);
+        else
+            emit_row(out, row);
+    }
+    emit_sep(out);
+    return out.str();
+}
+
+void
+TextTable::print(std::FILE *out) const
+{
+    std::string text = render();
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fflush(out);
+}
+
+std::string
+TextTable::num(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::factor(double value, int decimals)
+{
+    char buf[64];
+    if (value >= 1000.0)
+        std::snprintf(buf, sizeof(buf), "%.0fx", value);
+    else
+        std::snprintf(buf, sizeof(buf), "%.*fx", decimals, value);
+    return buf;
+}
+
+} // namespace gpulp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness.
+ *
+ * Every paper table/figure reproduction prints a monospace table in the
+ * same row/column layout as the paper; this class handles alignment and
+ * separators so bench binaries contain only data.
+ */
+
+#ifndef GPULP_COMMON_TABLE_H
+#define GPULP_COMMON_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gpulp {
+
+/**
+ * Accumulates rows of strings and renders them with aligned columns.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render the table to a stream (stdout by default). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Format helper: fixed-point value with given decimals. */
+    static std::string num(double value, int decimals = 2);
+
+    /** Format helper: value as a percentage string, e.g. "29.4%". */
+    static std::string pct(double fraction, int decimals = 1);
+
+    /** Format helper: slowdown factor string, e.g. "36.62x". */
+    static std::string factor(double value, int decimals = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    // A row is either a list of cells or the empty vector, which encodes
+    // a separator line.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gpulp
+
+#endif // GPULP_COMMON_TABLE_H

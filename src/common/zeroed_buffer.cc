@@ -1,0 +1,53 @@
+#include "zeroed_buffer.h"
+
+#include <sys/mman.h>
+#include <utility>
+
+#include "logging.h"
+
+namespace gpulp {
+
+ZeroedBuffer::ZeroedBuffer(size_t bytes) : size_(bytes)
+{
+    GPULP_ASSERT(bytes > 0, "empty buffer");
+    void *p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (p == MAP_FAILED)
+        GPULP_FATAL("mmap of %zu bytes failed", bytes);
+    data_ = static_cast<char *>(p);
+}
+
+ZeroedBuffer::~ZeroedBuffer()
+{
+    release();
+}
+
+ZeroedBuffer::ZeroedBuffer(ZeroedBuffer &&other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0))
+{
+}
+
+ZeroedBuffer &
+ZeroedBuffer::operator=(ZeroedBuffer &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        data_ = std::exchange(other.data_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+}
+
+void
+ZeroedBuffer::release()
+{
+    if (data_) {
+        if (::munmap(data_, size_) != 0)
+            GPULP_WARN("munmap failed");
+        data_ = nullptr;
+        size_ = 0;
+    }
+}
+
+} // namespace gpulp

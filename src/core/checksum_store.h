@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Checksum stores: where per-region checksums live in device memory.
+ *
+ * Three organizations, matching Sec. IV-C and Sec. V of the paper:
+ *
+ *  - QuadProbeTable: open addressing with a quadratic probe sequence
+ *    (Fig. 3 right). Lock-free insertion claims the key slot with
+ *    atomicCAS; the paper recommends load factors of at most ~70%.
+ *
+ *  - CuckooTable: two tables with independent hash functions (Fig. 4);
+ *    insertion evicts the incumbent with atomicExch and re-places it in
+ *    the other table. Load factor below 50%. Eviction cycles fall back
+ *    to a small linear-probed stash (standing in for the paper's
+ *    rehash, which is not implementable mid-kernel).
+ *
+ *  - GlobalArrayStore (Sec. V, the paper's contribution): one slot per
+ *    thread block, indexed directly by block ID. Collision-free,
+ *    race-free, 100% load factor, minimum space.
+ *
+ * Each hashed table supports three insertion disciplines (LockMode):
+ * lock-free atomics, one table-wide spin lock, or the CAS-free
+ * plain-load/compare/store sequence of Sec. IV-D.3 (modelled as
+ * dependent global round-trips plus a verification poll loop).
+ *
+ * Instrumentation counters (collisions, probes, kicks) are host-side
+ * only and never perturb the timing model — they reproduce Table II.
+ */
+
+#ifndef GPULP_CORE_CHECKSUM_STORE_H
+#define GPULP_CORE_CHECKSUM_STORE_H
+
+#include <memory>
+#include <string>
+
+#include "core/checksum.h"
+#include "core/lp_config.h"
+#include "mem/memory.h"
+#include "sim/device.h"
+
+namespace gpulp {
+
+/** Key slot value marking an empty hashed-table entry. */
+constexpr uint32_t kEmptyKey = 0xffffffffu;
+
+/** Sentinel marking a never-written global-array slot. */
+constexpr uint32_t kUnwrittenChecksum = 0xffffffffu;
+
+/** Insertion/collision counters for one store (Table II). */
+struct StoreStats {
+    uint64_t inserts = 0;
+    uint64_t collisions = 0;   //!< occupied probes / eviction kicks
+    uint64_t probes = 0;       //!< total probe attempts (quad)
+    uint64_t kicks = 0;        //!< total evictions performed (cuckoo)
+    uint64_t stash_inserts = 0;//!< cuckoo cycle fallbacks
+};
+
+/**
+ * Abstract checksum store. insert() runs on the device (one thread per
+ * LP region calls it and pays its cost); lookup() is host-side and only
+ * used by crash recovery, which is off the critical path.
+ */
+class ChecksumStore
+{
+  public:
+    virtual ~ChecksumStore() = default;
+
+    /**
+     * Insert (or overwrite, when re-executed by recovery) the checksum
+     * for region @p key. Must be called by exactly one thread per
+     * region; charges that thread's cycle counter.
+     */
+    virtual void insert(ThreadCtx &t, uint32_t key, Checksums cs) = 0;
+
+    /**
+     * Host-side lookup for crash validation. Returns false when no
+     * entry for @p key survives in (post-crash) memory.
+     */
+    virtual bool lookup(uint32_t key, Checksums *out) const = 0;
+
+    /** Re-initialize every slot to empty (host-side). */
+    virtual void clear() = 0;
+
+    /** Total entry capacity. */
+    virtual uint64_t capacity() const = 0;
+
+    /** Device-memory footprint in bytes (Table V space overhead). */
+    virtual uint64_t footprintBytes() const = 0;
+
+    /** Short name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Instrumentation counters since the last clear(). */
+    const StoreStats &stats() const { return stats_; }
+
+  protected:
+    StoreStats stats_;
+};
+
+/** Quadratic-probing open-addressed table. */
+class QuadProbeTable : public ChecksumStore
+{
+  public:
+    /**
+     * @param dev Device whose memory backs the table.
+     * @param num_keys Number of distinct keys (thread blocks) expected.
+     * @param mode Insertion discipline.
+     * @param load_factor Target load factor; <=0 uses the 0.7 default.
+     */
+    QuadProbeTable(Device &dev, uint64_t num_keys, LockMode mode,
+                   double load_factor = 0.0);
+
+    void insert(ThreadCtx &t, uint32_t key, Checksums cs) override;
+    bool lookup(uint32_t key, Checksums *out) const override;
+    void clear() override;
+    uint64_t capacity() const override { return capacity_; }
+    uint64_t footprintBytes() const override;
+    const char *name() const override { return "quad"; }
+
+  private:
+    /** Slot visited on the @p i-th probe for hash @p h. */
+    uint64_t probeSlot(uint32_t h, uint64_t i) const;
+
+    /** Probe attempts before the insert loop gives up. */
+    uint64_t maxProbes() const { return 2 * capacity_; }
+
+    Addr keyAddr(uint64_t slot) const;
+    Addr payloadAddr(uint64_t slot) const;
+
+    void insertLockFree(ThreadCtx &t, uint32_t key, Checksums cs);
+    void insertLockBased(ThreadCtx &t, uint32_t key, Checksums cs);
+    void insertNoAtomic(ThreadCtx &t, uint32_t key, Checksums cs);
+
+    Device &dev_;
+    LockMode mode_;
+    uint64_t capacity_; //!< exact sizing from the target load factor
+    Addr entries_;      //!< capacity_ x 16B {key, sum, parity, pad}
+    Addr lock_;         //!< table-wide lock word (LockBased)
+};
+
+/** Two-table cuckoo hash table. */
+class CuckooTable : public ChecksumStore
+{
+  public:
+    /** Maximum eviction-chain length before falling back to the stash. */
+    static constexpr uint32_t kMaxKicks = 32;
+
+    /**
+     * @param dev Device whose memory backs the tables.
+     * @param num_keys Number of distinct keys expected.
+     * @param mode Insertion discipline.
+     * @param load_factor Target *total* load factor; <=0 uses 0.45.
+     */
+    CuckooTable(Device &dev, uint64_t num_keys, LockMode mode,
+                double load_factor = 0.0);
+
+    void insert(ThreadCtx &t, uint32_t key, Checksums cs) override;
+    bool lookup(uint32_t key, Checksums *out) const override;
+    void clear() override;
+    uint64_t capacity() const override;
+    uint64_t footprintBytes() const override;
+    const char *name() const override { return "cuckoo"; }
+
+  private:
+    uint32_t hashOf(uint32_t table, uint32_t key) const;
+    Addr keyAddr(uint32_t table, uint64_t slot) const;
+    Addr payloadAddr(uint32_t table, uint64_t slot) const;
+
+    void insertLockFree(ThreadCtx &t, uint32_t key, Checksums cs);
+    void insertLockBased(ThreadCtx &t, uint32_t key, Checksums cs);
+    void insertNoAtomic(ThreadCtx &t, uint32_t key, Checksums cs);
+
+    /** Last-resort linear-probed stash for eviction cycles. */
+    void stashInsert(ThreadCtx &t, uint32_t key, Checksums cs);
+
+    Device &dev_;
+    LockMode mode_;
+    uint64_t per_table_;  //!< slots per table (exact sizing)
+    Addr tables_[2];
+    Addr stash_;
+    uint64_t stash_slots_;
+    Addr lock_;
+};
+
+/** The paper's hash-table-less checksum global array (Sec. V). */
+class GlobalArrayStore : public ChecksumStore
+{
+  public:
+    GlobalArrayStore(Device &dev, uint64_t num_keys);
+
+    void insert(ThreadCtx &t, uint32_t key, Checksums cs) override;
+    bool lookup(uint32_t key, Checksums *out) const override;
+    void clear() override;
+    uint64_t capacity() const override { return num_keys_; }
+    uint64_t footprintBytes() const override { return num_keys_ * 8; }
+    const char *name() const override { return "array"; }
+
+  private:
+    Addr slotAddr(uint32_t key) const;
+
+    Device &dev_;
+    uint64_t num_keys_;
+    Addr slots_; //!< num_keys x {sum, parity}
+};
+
+/** Construct the store selected by @p cfg for @p num_keys regions. */
+std::unique_ptr<ChecksumStore> makeChecksumStore(Device &dev,
+                                                 const LpConfig &cfg,
+                                                 uint64_t num_keys);
+
+/** Fibonacci/murmur-style 32-bit mixing hash used by the tables. */
+uint32_t mixHash(uint32_t key, uint32_t seed);
+
+} // namespace gpulp
+
+#endif // GPULP_CORE_CHECKSUM_STORE_H

@@ -1,0 +1,134 @@
+#include "eager.h"
+
+#include <cstring>
+
+namespace gpulp {
+
+EpRuntime::EpRuntime(Device &dev, const LaunchConfig &launch,
+                     uint64_t log_entries_per_thread)
+    : dev_(dev), launch_(launch),
+      entries_per_thread_(log_entries_per_thread)
+{
+    GPULP_ASSERT(entries_per_thread_ > 0, "EP needs log space");
+    uint64_t blocks = launch.numBlocks();
+    logs_ = dev_.mem().alloc(blocks * entriesPerBlock() * kLogEntryBytes);
+    commit_flags_ = dev_.mem().alloc(blocks * 4);
+    reset();
+}
+
+Addr
+EpRuntime::logEntryAddr(uint64_t block, uint64_t slot) const
+{
+    return logs_ + (block * entriesPerBlock() + slot) * kLogEntryBytes;
+}
+
+void
+EpRuntime::protectedStore32(ThreadCtx &t, ThreadLog &log, Addr addr,
+                            uint32_t bits)
+{
+    uint64_t block = t.blockRank();
+
+    // 1. Read the old value and claim the next slot of this thread's
+    //    log partition (no atomics: logs are per-thread).
+    uint32_t old_bits = t.loadAddr<uint32_t>(addr);
+    GPULP_ASSERT(log.used < entries_per_thread_,
+                 "EP undo log overflow: thread needs more than %llu "
+                 "entries",
+                 static_cast<unsigned long long>(entries_per_thread_));
+    uint64_t slot =
+        uint64_t{t.flatThreadIdx()} * entries_per_thread_ + log.used++;
+
+    // 2. The undo entry must be durable before the data store (the
+    //    undo-logging invariant): write, flush, fence.
+    Addr entry = logEntryAddr(block, slot);
+    t.storeAddr<uint64_t>(entry, addr);
+    t.storeAddr<uint32_t>(entry + 8, old_bits);
+    t.clwb(entry);
+    t.persistBarrier();
+
+    // 3. The data store, eagerly pushed toward the NVM.
+    t.storeAddr<uint32_t>(addr, bits);
+    t.clwb(addr);
+}
+
+void
+EpRuntime::commitRegion(ThreadCtx &t)
+{
+    // All data flushes of this thread must be durable before the
+    // region's commit flag may persist.
+    t.persistBarrier();
+    t.syncthreads();
+    if (t.flatThreadIdx() == 0) {
+        Addr flag = commit_flags_ + t.blockRank() * 4;
+        t.storeAddr<uint32_t>(flag, 1);
+        t.clwb(flag);
+        t.persistBarrier();
+    }
+}
+
+uint64_t
+EpRuntime::recoverUndo()
+{
+    GlobalMemory &mem = dev_.mem();
+    NvmCache *nvm = dev_.nvm();
+    uint64_t rolled_back = 0;
+    for (uint64_t block = 0; block < launch_.numBlocks(); ++block) {
+        uint32_t committed;
+        std::memcpy(&committed, mem.raw(commit_flags_ + block * 4), 4);
+        if (committed)
+            continue;
+        // The log cursor is volatile state and may not have persisted;
+        // the log *entries* are what the protocol made durable (each
+        // was flushed and fenced before its data store). Scan every
+        // slot newest-first and undo the ones that reached the NVM — a
+        // null target address marks a slot that never persisted.
+        bool undid_any = false;
+        for (uint64_t slot = entriesPerBlock(); slot > 0; --slot) {
+            Addr entry = logEntryAddr(block, slot - 1);
+            uint64_t target;
+            uint32_t old_bits;
+            std::memcpy(&target, mem.raw(entry), 8);
+            std::memcpy(&old_bits, mem.raw(entry + 8), 4);
+            if (target == kNullAddr)
+                continue;
+            std::memcpy(mem.raw(static_cast<Addr>(target)), &old_bits, 4);
+            undid_any = true;
+        }
+        if (undid_any)
+            ++rolled_back;
+        // The region will re-execute; clear its log so a second
+        // crash during recovery cannot replay stale entries.
+        std::memset(mem.raw(logEntryAddr(block, 0)), 0,
+                    entriesPerBlock() * kLogEntryBytes);
+    }
+    if (nvm)
+        nvm->persistAll();
+    return rolled_back;
+}
+
+bool
+EpRuntime::isCommittedHost(uint64_t block) const
+{
+    uint32_t committed;
+    std::memcpy(&committed, dev_.mem().raw(commit_flags_ + block * 4), 4);
+    return committed != 0;
+}
+
+void
+EpRuntime::reset()
+{
+    GlobalMemory &mem = dev_.mem();
+    uint64_t blocks = launch_.numBlocks();
+    std::memset(mem.raw(logs_), 0,
+                blocks * entriesPerBlock() * kLogEntryBytes);
+    std::memset(mem.raw(commit_flags_), 0, blocks * 4);
+}
+
+uint64_t
+EpRuntime::footprintBytes() const
+{
+    uint64_t blocks = launch_.numBlocks();
+    return blocks * (entriesPerBlock() * kLogEntryBytes + 4);
+}
+
+} // namespace gpulp

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Eager Persistency (EP) — the baseline Lazy Persistency is measured
+ * against throughout the paper (Sec. I/II).
+ *
+ * EP makes regions atomically durable the classical way: an undo log
+ * entry is written and *flushed* before every persistent store, the
+ * store's own line is flushed, and persist barriers order everything;
+ * a committed region raises a durable commit flag. The costs the paper
+ * attributes to EP all appear mechanically here:
+ *
+ *  - log maintenance (extra stores + memory traffic),
+ *  - loss of locality from cache-line flushing,
+ *  - processor stalls on persist barriers,
+ *  - write amplification (every store's line plus its log entry
+ *    reach the NVM, versus LP's natural evictions).
+ *
+ * The paper also notes EP is not even implementable on current GPUs —
+ * CUDA has no clwb/persist-barrier; ThreadCtx::clwb()/persistBarrier()
+ * model the instructions EP would require, making the comparison
+ * possible in simulation.
+ *
+ * Recovery: uncommitted regions are rolled back from their undo logs
+ * (host-side, as crash recovery runs before kernels restart).
+ */
+
+#ifndef GPULP_CORE_EAGER_H
+#define GPULP_CORE_EAGER_H
+
+#include <cstdint>
+
+#include "common/floatbits.h"
+#include "sim/device.h"
+
+namespace gpulp {
+
+/**
+ * Per-kernel EP state: per-thread partitioned undo logs and per-block
+ * commit flags, all resident in (persistent) device memory.
+ *
+ * Logs are partitioned per thread (as real GPU logging schemes do) so
+ * appending needs no atomics; consequently threads of a block must not
+ * EP-protect the *same* address, or undo order across threads would be
+ * undefined. All kernels here write thread-disjoint addresses.
+ */
+class EpRuntime
+{
+  public:
+    /** Bytes per undo-log entry: {addr: 8, old bits: 4, pad: 4}. */
+    static constexpr uint64_t kLogEntryBytes = 16;
+
+    /** Per-thread log cursor, register-resident in the kernel. */
+    struct ThreadLog {
+        uint32_t used = 0;
+    };
+
+    /**
+     * @param dev Device the protected kernel runs on.
+     * @param launch Grid/block shape of the protected kernel.
+     * @param log_entries_per_thread Undo-log capacity per thread.
+     */
+    EpRuntime(Device &dev, const LaunchConfig &launch,
+              uint64_t log_entries_per_thread);
+
+    // Device-side protocol ---------------------------------------------------
+
+    /**
+     * EP-protected 32-bit store: logs the old value (flushed + fenced
+     * before the data store, the undo invariant), performs the store
+     * and flushes its line.
+     */
+    void protectedStore32(ThreadCtx &t, ThreadLog &log, Addr addr,
+                          uint32_t bits);
+
+    /** EP-protected float store (via the 32-bit path). */
+    void
+    protectedStoreF(ThreadCtx &t, ThreadLog &log, Addr addr, float value)
+    {
+        protectedStore32(t, log, addr, floatToOrderedInt(value));
+    }
+
+    /**
+     * End-of-region commit: drain this thread's flushes, barrier the
+     * block, and have thread 0 persist the region's commit flag.
+     * Collective.
+     */
+    void commitRegion(ThreadCtx &t);
+
+    // Host-side recovery -----------------------------------------------------
+
+    /**
+     * Undo every uncommitted region from its persisted log, newest
+     * entry first, and persist the rolled-back state.
+     *
+     * @return Number of regions rolled back.
+     */
+    uint64_t recoverUndo();
+
+    /** True if @p block committed durably. */
+    bool isCommittedHost(uint64_t block) const;
+
+    /** Clear logs, cursors and commit flags for a fresh run. */
+    void reset();
+
+    /** Device-memory footprint of logs + metadata. */
+    uint64_t footprintBytes() const;
+
+  private:
+    /** Entries per block across all its threads. */
+    uint64_t
+    entriesPerBlock() const
+    {
+        return entries_per_thread_ * launch_.threadsPerBlock();
+    }
+
+    Addr logEntryAddr(uint64_t block, uint64_t slot) const;
+
+    Device &dev_;
+    LaunchConfig launch_;
+    uint64_t entries_per_thread_;
+    Addr logs_;         //!< blocks x threads x entries x kLogEntryBytes
+    Addr commit_flags_; //!< blocks x uint32
+};
+
+} // namespace gpulp
+
+#endif // GPULP_CORE_EAGER_H

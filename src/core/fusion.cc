@@ -1,0 +1,86 @@
+#include "fusion.h"
+
+namespace gpulp {
+
+FusedGrid::FusedGrid(const LaunchConfig &logical, uint32_t fuse)
+    : logical_(logical), fuse_(fuse)
+{
+    GPULP_ASSERT(fuse_ >= 1, "fusion factor must be >= 1");
+}
+
+uint64_t
+FusedGrid::numRegions() const
+{
+    return (logical_.numBlocks() + fuse_ - 1) / fuse_;
+}
+
+LaunchConfig
+FusedGrid::physicalConfig() const
+{
+    return LaunchConfig(Dim3(static_cast<uint32_t>(numRegions())),
+                        logical_.block);
+}
+
+LaunchResult
+FusedGrid::run(Device &dev, const LpContext *lp, const FusedKernelFn &kernel,
+               const RecoverySet *only_failed) const
+{
+    const uint64_t logical_blocks = logical_.numBlocks();
+    const uint32_t fuse = fuse_;
+    return dev.launch(physicalConfig(), [&](ThreadCtx &t) {
+        if (only_failed && !only_failed->isFailedHost(t.blockRank()))
+            return;
+        ChecksumAccum acc(lp ? lp->cfg->checksum
+                             : ChecksumKind::ModularParity);
+        for (uint32_t f = 0; f < fuse; ++f) {
+            uint64_t logical = t.blockRank() * fuse + f;
+            if (logical >= logical_blocks)
+                break;
+            kernel(t, logical, lp ? &acc : nullptr);
+            // Logical blocks may reuse shared memory; separate them the
+            // way back-to-back blocks on one SM are separated.
+            t.syncthreads();
+        }
+        if (lp)
+            lpCommitRegion(t, *lp, acc);
+    });
+}
+
+LaunchResult
+FusedGrid::launch(Device &dev, const LpContext *lp,
+                  const FusedKernelFn &kernel) const
+{
+    return run(dev, lp, kernel, nullptr);
+}
+
+LaunchResult
+FusedGrid::validate(Device &dev, const LpContext &lp,
+                    const FusedKernelFn &revalidate,
+                    RecoverySet &failed) const
+{
+    const uint64_t logical_blocks = logical_.numBlocks();
+    const uint32_t fuse = fuse_;
+    return dev.launch(physicalConfig(), [&](ThreadCtx &t) {
+        ChecksumAccum acc(lp.cfg->checksum);
+        for (uint32_t f = 0; f < fuse; ++f) {
+            uint64_t logical = t.blockRank() * fuse + f;
+            if (logical >= logical_blocks)
+                break;
+            revalidate(t, logical, &acc);
+            t.syncthreads();
+        }
+        bool ok = lpValidateRegion(t, lp, acc);
+        if (t.flatThreadIdx() == 0 && !ok)
+            failed.markFailed(t, t.blockRank());
+    });
+}
+
+LaunchResult
+FusedGrid::recover(Device &dev, const LpContext &lp,
+                   const FusedKernelFn &kernel,
+                   const RecoverySet &failed) const
+{
+    return run(dev, &lp, kernel, &failed);
+}
+
+} // namespace gpulp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Thread-block fusion: enlarging LP regions (Sec. IV-A).
+ *
+ * The paper picks the thread block as the LP region but notes regions
+ * "can be enlarged if needed, e.g. through thread block fusion [20]".
+ * Fusion runs F consecutive *logical* blocks inside one *physical*
+ * block, which becomes a single LP region: one checksum accumulation
+ * spanning all F logical blocks and one commit keyed by the physical
+ * block. The trade-off is exactly Sec. II-A's granularity argument —
+ *
+ *  - fewer, larger regions: commit/insert pressure and checksum-table
+ *    space drop by F;
+ *  - coarser recovery: a crash re-executes F logical blocks per failed
+ *    region instead of one.
+ *
+ * Kernels participate by being written against a logical block rank
+ * instead of reading ThreadCtx::blockRank() directly.
+ */
+
+#ifndef GPULP_CORE_FUSION_H
+#define GPULP_CORE_FUSION_H
+
+#include <functional>
+
+#include "core/recovery.h"
+#include "core/region.h"
+#include "sim/device.h"
+
+namespace gpulp {
+
+/**
+ * Kernel body under fusion: invoked once per (thread, logical block).
+ * Persistent stores must be folded into @p acc when it is non-null
+ * (LP enabled); @p acc spans all logical blocks fused into the region.
+ */
+using FusedKernelFn = std::function<void(
+    ThreadCtx &t, uint64_t logical_block, ChecksumAccum *acc)>;
+
+/** A logical grid fused F-to-1 onto physical blocks. */
+class FusedGrid
+{
+  public:
+    /**
+     * @param logical Launch shape the kernel was written for.
+     * @param fuse Logical blocks per physical block (>= 1).
+     */
+    FusedGrid(const LaunchConfig &logical, uint32_t fuse);
+
+    /** Physical launch configuration (same block dim, 1-D grid). */
+    LaunchConfig physicalConfig() const;
+
+    /** Logical launch configuration. */
+    const LaunchConfig &logicalConfig() const { return logical_; }
+
+    /** Logical blocks per physical block. */
+    uint32_t fuse() const { return fuse_; }
+
+    /** Number of physical blocks (= LP regions = checksum keys). */
+    uint64_t numRegions() const;
+
+    /**
+     * Run the fused kernel. With @p lp non-null every physical block
+     * accumulates one checksum across its logical blocks and commits
+     * it once, keyed by the physical block rank; the LpRuntime backing
+     * @p lp must have been created with physicalConfig().
+     */
+    LaunchResult launch(Device &dev, const LpContext *lp,
+                        const FusedKernelFn &kernel) const;
+
+    /**
+     * Validation kernel for a fused launch: recomputes each region's
+     * checksum via @p revalidate (same signature as the kernel, loads
+     * instead of stores) and marks failed regions.
+     */
+    LaunchResult validate(Device &dev, const LpContext &lp,
+                          const FusedKernelFn &revalidate,
+                          RecoverySet &failed) const;
+
+    /**
+     * Recovery kernel: re-executes the logical blocks of regions
+     * marked in @p failed (idempotent regions), recommitting their
+     * checksums.
+     */
+    LaunchResult recover(Device &dev, const LpContext &lp,
+                         const FusedKernelFn &kernel,
+                         const RecoverySet &failed) const;
+
+  private:
+    /** Shared driver for launch/recover. */
+    LaunchResult run(Device &dev, const LpContext *lp,
+                     const FusedKernelFn &kernel,
+                     const RecoverySet *only_failed) const;
+
+    LaunchConfig logical_;
+    uint32_t fuse_;
+};
+
+} // namespace gpulp
+
+#endif // GPULP_CORE_FUSION_H

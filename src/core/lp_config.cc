@@ -1,0 +1,74 @@
+#include "lp_config.h"
+
+#include "common/logging.h"
+
+namespace gpulp {
+
+const char *
+toString(ChecksumKind kind)
+{
+    switch (kind) {
+      case ChecksumKind::Modular:
+        return "modular";
+      case ChecksumKind::Parity:
+        return "parity";
+      case ChecksumKind::ModularParity:
+        return "modular+parity";
+    }
+    GPULP_PANIC("bad ChecksumKind %d", static_cast<int>(kind));
+}
+
+const char *
+toString(ReductionKind kind)
+{
+    switch (kind) {
+      case ReductionKind::ParallelShuffle:
+        return "shfl";
+      case ReductionKind::SequentialGlobal:
+        return "noshfl";
+      case ReductionKind::ParallelFused:
+        return "fused";
+    }
+    GPULP_PANIC("bad ReductionKind %d", static_cast<int>(kind));
+}
+
+const char *
+toString(TableKind kind)
+{
+    switch (kind) {
+      case TableKind::QuadProbe:
+        return "quad";
+      case TableKind::Cuckoo:
+        return "cuckoo";
+      case TableKind::GlobalArray:
+        return "array";
+    }
+    GPULP_PANIC("bad TableKind %d", static_cast<int>(kind));
+}
+
+const char *
+toString(LockMode mode)
+{
+    switch (mode) {
+      case LockMode::LockFree:
+        return "lockfree";
+      case LockMode::LockBased:
+        return "lockbased";
+      case LockMode::NoAtomic:
+        return "noatomic";
+    }
+    GPULP_PANIC("bad LockMode %d", static_cast<int>(mode));
+}
+
+std::string
+configLabel(const LpConfig &cfg)
+{
+    std::string label = toString(cfg.table);
+    label += "+";
+    label += toString(cfg.reduction);
+    label += "+";
+    label += toString(cfg.lock);
+    return label;
+}
+
+} // namespace gpulp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Configuration of the Lazy Persistency design space explored by the
+ * paper (Sec. IV): checksum type, reduction method, checksum-table
+ * organization and locking discipline.
+ */
+
+#ifndef GPULP_CORE_LP_CONFIG_H
+#define GPULP_CORE_LP_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace gpulp {
+
+/**
+ * Which checksum(s) protect an LP region.
+ *
+ * The paper selects the simultaneous use of modular + parity
+ * (false-negative rate below 1e-12); Adler-32 is supported host-side
+ * for comparison but is order-dependent and therefore cannot be
+ * parallel-reduced (Sec. IV-B).
+ */
+enum class ChecksumKind : uint8_t {
+    Modular,       //!< 32-bit modular sum of ordered-int values
+    Parity,        //!< 32-bit XOR of ordered-int values
+    ModularParity, //!< both simultaneously (the paper's recommendation)
+};
+
+/** How per-thread checksums combine into the block checksum. */
+enum class ReductionKind : uint8_t {
+    ParallelShuffle,  //!< warp shfl_down tree + shared memory (Listing 3/4)
+    SequentialGlobal, //!< values staged in global memory, one thread reduces
+    ParallelFused,    //!< extension: one 64-bit shuffle carries both
+                      //!< checksums (the hardware support Sec. VII-2
+                      //!< asks architects for)
+};
+
+/** Checksum-table organization (Sec. IV-C and Sec. V). */
+enum class TableKind : uint8_t {
+    QuadProbe,   //!< open addressing with quadratic probing
+    Cuckoo,      //!< two tables / two hash functions, eviction chains
+    GlobalArray, //!< hash-table-less checksum global array (Sec. V)
+};
+
+/** Synchronization discipline for table insertion (Sec. IV-C.1/D.3-4). */
+enum class LockMode : uint8_t {
+    LockFree,  //!< atomicCAS / atomicExch insertion
+    LockBased, //!< one table-wide spin lock around the insert
+    NoAtomic,  //!< plain load/compare/store sequences (Sec. IV-D.3)
+};
+
+/** A point in the LP design space. */
+struct LpConfig {
+    ChecksumKind checksum = ChecksumKind::ModularParity;
+    ReductionKind reduction = ReductionKind::ParallelShuffle;
+    TableKind table = TableKind::GlobalArray;
+    LockMode lock = LockMode::LockFree;
+
+    /**
+     * Target load factor for hashed tables. The paper keeps quadratic
+     * probing at or below ~70% and cuckoo below 50%; the global array
+     * always runs at 100% (one slot per thread block).
+     */
+    double load_factor = 0.0; // 0 => per-table default
+
+    /** The paper's final recommended configuration (Sec. VII-1). */
+    static LpConfig
+    scalable()
+    {
+        return LpConfig{};
+    }
+
+    /** The naive CPU-style port: hashed table + shuffle reduction. */
+    static LpConfig
+    naive(TableKind table_kind)
+    {
+        LpConfig cfg;
+        cfg.table = table_kind;
+        return cfg;
+    }
+};
+
+/** Human-readable name for a checksum kind. */
+const char *toString(ChecksumKind kind);
+
+/** Human-readable name for a reduction kind. */
+const char *toString(ReductionKind kind);
+
+/** Human-readable name for a table kind. */
+const char *toString(TableKind kind);
+
+/** Human-readable name for a lock mode. */
+const char *toString(LockMode mode);
+
+/** Compact label such as "quad+shfl+lockfree" for reports. */
+std::string configLabel(const LpConfig &cfg);
+
+} // namespace gpulp
+
+#endif // GPULP_CORE_LP_CONFIG_H

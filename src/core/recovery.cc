@@ -1,0 +1,90 @@
+#include "recovery.h"
+
+#include <cstring>
+
+namespace gpulp {
+
+RecoverySet::RecoverySet(Device &dev, uint64_t num_blocks)
+    : dev_(dev), num_blocks_(num_blocks)
+{
+    GPULP_ASSERT(num_blocks_ > 0, "empty recovery set");
+    flags_ = dev_.mem().alloc(num_blocks_ * 4);
+    clearAll();
+}
+
+void
+RecoverySet::markFailed(ThreadCtx &t, uint64_t block)
+{
+    GPULP_ASSERT(block < num_blocks_, "block %llu out of range",
+                 static_cast<unsigned long long>(block));
+    t.storeAddr<uint32_t>(flags_ + block * 4, 1);
+}
+
+bool
+RecoverySet::isFailed(ThreadCtx &t, uint64_t block) const
+{
+    GPULP_ASSERT(block < num_blocks_, "block %llu out of range",
+                 static_cast<unsigned long long>(block));
+    return t.loadAddr<uint32_t>(flags_ + block * 4) != 0;
+}
+
+bool
+RecoverySet::isFailedHost(uint64_t block) const
+{
+    uint32_t flag;
+    std::memcpy(&flag, dev_.mem().raw(flags_ + block * 4), 4);
+    return flag != 0;
+}
+
+void
+RecoverySet::clearAll()
+{
+    std::memset(dev_.mem().raw(flags_), 0, num_blocks_ * 4);
+}
+
+uint64_t
+RecoverySet::failedCount() const
+{
+    uint64_t count = 0;
+    for (uint64_t b = 0; b < num_blocks_; ++b)
+        count += isFailedHost(b);
+    return count;
+}
+
+RecoveryReport
+lpValidateAndRecover(
+    Device &dev, const LaunchConfig &cfg, const LpContext &lp,
+    const std::function<void(ThreadCtx &, RecoverySet &)> &validate_kernel,
+    const std::function<void(ThreadCtx &, const RecoverySet &)>
+        &recover_kernel)
+{
+    (void)lp;
+    RecoverySet failed(dev, cfg.numBlocks());
+
+    LaunchResult validate = dev.launch(cfg, [&](ThreadCtx &t) {
+        validate_kernel(t, failed);
+    });
+    GPULP_ASSERT(!validate.crashed, "crash during validation kernel");
+
+    RecoveryReport report;
+    report.blocks_checked = cfg.numBlocks();
+    report.blocks_failed = failed.failedCount();
+    report.validate_cycles = validate.cycles;
+
+    if (report.blocks_failed > 0) {
+        LaunchResult recover = dev.launch(cfg, [&](ThreadCtx &t) {
+            recover_kernel(t, failed);
+        });
+        GPULP_ASSERT(!recover.crashed, "crash during recovery kernel");
+        report.recover_cycles = recover.cycles;
+        report.blocks_recovered = report.blocks_failed;
+    }
+
+    // Eager recovery: persist the recovered state so forward progress
+    // holds even if another crash strikes immediately.
+    if (dev.nvm())
+        dev.nvm()->persistAll();
+    return report;
+}
+
+} // namespace gpulp

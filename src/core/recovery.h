@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Crash-recovery support: the per-block failed set and the eager
+ * recovery driver (Sec. II-A, Sec. IV-A and Listing 7).
+ *
+ * Recovery after a crash proceeds in two kernels, as in the paper:
+ *
+ *  1. a validation kernel with the original grid dimensions recomputes
+ *     every block's checksum from the data found in memory and compares
+ *     it with the checksum table — failing blocks are marked in a
+ *     RecoverySet;
+ *  2. a recovery kernel re-executes only the failed (idempotent)
+ *     blocks, re-committing their checksums.
+ *
+ * Eager recovery then persists everything (whole-cache flush) so that
+ * forward progress is guaranteed even if another crash follows.
+ */
+
+#ifndef GPULP_CORE_RECOVERY_H
+#define GPULP_CORE_RECOVERY_H
+
+#include <cstdint>
+#include <functional>
+
+#include "core/region.h"
+#include "sim/device.h"
+
+namespace gpulp {
+
+/**
+ * Device-resident array of per-block pass/fail flags produced by
+ * validation and consumed by the recovery kernel.
+ */
+class RecoverySet
+{
+  public:
+    RecoverySet(Device &dev, uint64_t num_blocks);
+
+    /** Number of blocks tracked. */
+    uint64_t numBlocks() const { return num_blocks_; }
+
+    /** Device-side: mark this block as needing recovery. */
+    void markFailed(ThreadCtx &t, uint64_t block);
+
+    /** Device-side: check a block's flag (timed load). */
+    bool isFailed(ThreadCtx &t, uint64_t block) const;
+
+    /** Host-side flag read for reporting. */
+    bool isFailedHost(uint64_t block) const;
+
+    /** Host-side: clear all flags. */
+    void clearAll();
+
+    /** Host-side: number of blocks currently marked failed. */
+    uint64_t failedCount() const;
+
+  private:
+    Device &dev_;
+    uint64_t num_blocks_;
+    Addr flags_; //!< one uint32 per block
+};
+
+/** Outcome of a validate-and-recover pass. */
+struct RecoveryReport {
+    uint64_t blocks_checked = 0;
+    uint64_t blocks_failed = 0;   //!< checksum mismatch or missing entry
+    uint64_t blocks_recovered = 0;
+    Cycles validate_cycles = 0;
+    Cycles recover_cycles = 0;
+};
+
+/**
+ * Run the full eager-recovery protocol.
+ *
+ * @param dev The device (the NVM model should already have rewound
+ *            memory to the persisted image via NvmCache::crash()).
+ * @param cfg Grid/block dimensions of the original kernel.
+ * @param lp The LP context the original kernel committed through.
+ * @param validate_kernel Collective kernel body that recomputes the
+ *        block's checksums from memory and calls lpValidateRegion();
+ *        it must mark failures in the provided RecoverySet. Signature
+ *        matches KernelFn with the set passed by the driver.
+ * @param recover_kernel Kernel body that re-executes a block's work
+ *        (including lpCommitRegion) when its flag is set and returns
+ *        immediately otherwise.
+ * @return Counts and cycle costs of both phases.
+ */
+RecoveryReport lpValidateAndRecover(
+    Device &dev, const LaunchConfig &cfg, const LpContext &lp,
+    const std::function<void(ThreadCtx &, RecoverySet &)> &validate_kernel,
+    const std::function<void(ThreadCtx &, const RecoverySet &)>
+        &recover_kernel);
+
+} // namespace gpulp
+
+#endif // GPULP_CORE_RECOVERY_H

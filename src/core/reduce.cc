@@ -1,0 +1,122 @@
+#include "reduce.h"
+
+namespace gpulp {
+
+Checksums
+warpReduceChecksums(ThreadCtx &t, Checksums local, ChecksumKind kind)
+{
+    const bool use_sum = kind != ChecksumKind::Parity;
+    const bool use_parity = kind != ChecksumKind::Modular;
+    const uint32_t live = t.warpLiveLanes();
+    const uint32_t lane = t.laneId();
+
+    for (uint32_t offset = kWarpSize / 2; offset > 0; offset /= 2) {
+        if (use_sum) {
+            uint32_t got = t.shflDown(local.sum, offset);
+            if (lane + offset < live) {
+                local.sum += got;
+                t.compute(1);
+            }
+        }
+        if (use_parity) {
+            uint32_t got = t.shflDown(local.parity, offset);
+            if (lane + offset < live) {
+                local.parity ^= got;
+                t.compute(1);
+            }
+        }
+    }
+    return local;
+}
+
+Checksums
+blockReduceParallel(ThreadCtx &t, Checksums local, ChecksumKind kind)
+{
+    Checksums warp_sum = warpReduceChecksums(t, local, kind);
+
+    auto parked =
+        t.sharedArray<uint64_t>(kLpReduceSharedSlot, kWarpSize);
+    if (t.laneId() == 0)
+        parked.set(t.warpId(), packChecksums(warp_sum));
+    t.syncthreads();
+
+    Checksums result{};
+    if (t.warpId() == 0) {
+        Checksums mine = t.laneId() < t.numWarps()
+                             ? unpackChecksums(parked.get(t.laneId()))
+                             : Checksums{};
+        result = warpReduceChecksums(t, mine, kind);
+    }
+    // Second barrier so a subsequent region in the same kernel can
+    // safely reuse the parked slot.
+    t.syncthreads();
+    return result;
+}
+
+namespace {
+
+/** Warp reduction with both checksums packed in one 64-bit shuffle. */
+Checksums
+warpReduceFused(ThreadCtx &t, Checksums local)
+{
+    const uint32_t live = t.warpLiveLanes();
+    const uint32_t lane = t.laneId();
+    uint64_t packed = packChecksums(local);
+    for (uint32_t offset = kWarpSize / 2; offset > 0; offset /= 2) {
+        uint64_t got = t.shflDown64(packed, offset);
+        if (lane + offset < live) {
+            Checksums mine = unpackChecksums(packed);
+            mine.merge(unpackChecksums(got));
+            packed = packChecksums(mine);
+            t.compute(2);
+        }
+    }
+    return unpackChecksums(packed);
+}
+
+} // namespace
+
+Checksums
+blockReduceParallelFused(ThreadCtx &t, Checksums local)
+{
+    Checksums warp_sum = warpReduceFused(t, local);
+
+    auto parked =
+        t.sharedArray<uint64_t>(kLpReduceSharedSlot, kWarpSize);
+    if (t.laneId() == 0)
+        parked.set(t.warpId(), packChecksums(warp_sum));
+    t.syncthreads();
+
+    Checksums result{};
+    if (t.warpId() == 0) {
+        Checksums mine = t.laneId() < t.numWarps()
+                             ? unpackChecksums(parked.get(t.laneId()))
+                             : Checksums{};
+        result = warpReduceFused(t, mine);
+    }
+    t.syncthreads();
+    return result;
+}
+
+Checksums
+blockReduceSequentialGlobal(ThreadCtx &t, Checksums local,
+                            ChecksumKind kind, ArrayRef<uint64_t> &scratch)
+{
+    (void)kind;
+    t.store(scratch, t.globalThreadIdx(), packChecksums(local));
+    t.syncthreads();
+
+    Checksums result{};
+    if (t.flatThreadIdx() == 0) {
+        uint64_t threads = t.blockDim().count();
+        uint64_t base = t.blockRank() * threads;
+        for (uint64_t i = 0; i < threads; ++i) {
+            result.merge(unpackChecksums(t.load(scratch, base + i)));
+            t.compute(2);
+        }
+    }
+    t.syncthreads();
+    return result;
+}
+
+} // namespace gpulp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * LpRuntime: the host-side facade tying the LP pieces together.
+ *
+ * This is the runtime the paper's `#pragma nvm lpcuda_init` directive
+ * lowers to: it owns the checksum store sized for the kernel's grid,
+ * allocates reduction scratch when the configuration needs it, and
+ * hands kernels a ready LpContext.
+ */
+
+#ifndef GPULP_CORE_RUNTIME_H
+#define GPULP_CORE_RUNTIME_H
+
+#include <memory>
+
+#include "core/checksum_store.h"
+#include "core/region.h"
+#include "sim/device.h"
+
+namespace gpulp {
+
+/**
+ * Per-kernel LP state: create one next to each LP-protected kernel
+ * launch (matching the one-lpcuda_init-per-region rule of Sec. VI).
+ */
+class LpRuntime
+{
+  public:
+    /**
+     * @param dev Device the kernel will run on.
+     * @param cfg LP design-space configuration.
+     * @param launch Grid/block dimensions of the protected kernel;
+     *        sizes the checksum store (one key per thread block) and
+     *        the sequential-reduction scratch.
+     */
+    LpRuntime(Device &dev, const LpConfig &cfg, const LaunchConfig &launch);
+
+    /** The context kernels capture. */
+    LpContext context();
+
+    /** The underlying checksum store. */
+    ChecksumStore &store() { return *store_; }
+
+    /** Configuration in force. */
+    const LpConfig &config() const { return cfg_; }
+
+    /**
+     * Bytes of device memory this LP instance adds (checksum store +
+     * scratch) — the numerator of Table V's space overhead.
+     */
+    uint64_t footprintBytes() const;
+
+    /** Clear the store (and scratch) for a fresh run. */
+    void reset();
+
+  private:
+    Device &dev_;
+    LpConfig cfg_;
+    LaunchConfig launch_;
+    std::unique_ptr<ChecksumStore> store_;
+    ArrayRef<uint64_t> scratch_;
+};
+
+} // namespace gpulp
+
+#endif // GPULP_CORE_RUNTIME_H

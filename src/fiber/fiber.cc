@@ -1,0 +1,258 @@
+#include "fiber.h"
+
+#include <cstdint>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+#if !defined(__x86_64__)
+#include <ucontext.h>
+#endif
+
+// Assembly routines (context_x86_64.S).
+extern "C" {
+#if defined(__x86_64__)
+void gpulp_context_switch(void **save_sp, void *restore_sp);
+void gpulp_context_trampoline();
+#endif
+/** C entry reached from the trampoline; defined below. */
+[[noreturn]] void gpulp_fiber_entry_thunk(void *fiber);
+}
+
+namespace gpulp {
+
+namespace {
+
+/** Fiber currently running on this OS thread (nullptr = main stack). */
+thread_local Fiber *tls_current_fiber = nullptr;
+
+size_t
+pageSize()
+{
+    static const size_t size = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+    return size;
+}
+
+size_t
+roundUpToPage(size_t bytes)
+{
+    size_t page = pageSize();
+    return (bytes + page - 1) / page * page;
+}
+
+/** mmap a stack with a PROT_NONE guard page at the low end. */
+void *
+mapStack(size_t usable, size_t *total_out)
+{
+    size_t total = roundUpToPage(usable) + pageSize();
+    void *base = ::mmap(nullptr, total, PROT_NONE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED)
+        GPULP_FATAL("fiber stack mmap of %zu bytes failed", total);
+    if (::mprotect(static_cast<char *>(base) + pageSize(),
+                   total - pageSize(), PROT_READ | PROT_WRITE) != 0) {
+        GPULP_FATAL("fiber stack mprotect failed");
+    }
+    *total_out = total;
+    return base;
+}
+
+void
+unmapStack(void *base, size_t total)
+{
+    if (::munmap(base, total) != 0)
+        GPULP_WARN("fiber stack munmap failed");
+}
+
+#if !defined(__x86_64__)
+// ---------------------------------------------------------------------
+// Portable ucontext fallback. Each "saved_sp" slot actually stores a
+// heap-allocated ucontext_t; the switch helper mimics the assembly
+// routine's save/restore contract.
+// ---------------------------------------------------------------------
+
+struct UctxPair {
+    ucontext_t ctx;
+};
+
+thread_local void *ucontext_entry_arg = nullptr;
+
+void
+ucontextEntry()
+{
+    gpulp_fiber_entry_thunk(ucontext_entry_arg);
+}
+#endif
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// StackPool
+// ---------------------------------------------------------------------
+
+StackPool::StackPool(size_t stack_size)
+    : stack_size_(roundUpToPage(stack_size))
+{
+    GPULP_ASSERT(stack_size_ >= 4096, "stack size too small");
+}
+
+StackPool::~StackPool()
+{
+    GPULP_ASSERT(outstanding_ == 0,
+                 "%zu fiber stacks still outstanding at pool destruction",
+                 outstanding_);
+    for (const auto &alloc : free_)
+        unmapStack(alloc.base, alloc.total);
+}
+
+StackPool::Allocation
+StackPool::acquire()
+{
+    ++outstanding_;
+    if (!free_.empty()) {
+        Allocation alloc = free_.back();
+        free_.pop_back();
+        return alloc;
+    }
+    Allocation alloc;
+    alloc.base = mapStack(stack_size_, &alloc.total);
+    ++allocated_;
+    return alloc;
+}
+
+void
+StackPool::release(Allocation alloc)
+{
+    GPULP_ASSERT(outstanding_ > 0, "stack released twice");
+    --outstanding_;
+    free_.push_back(alloc);
+}
+
+// ---------------------------------------------------------------------
+// Fiber
+// ---------------------------------------------------------------------
+
+Fiber::Fiber(std::function<void()> entry, StackPool *pool, size_t stack_size)
+    : entry_(std::move(entry)), pool_(pool)
+{
+    GPULP_ASSERT(entry_ != nullptr, "fiber needs an entry function");
+    if (pool_) {
+        StackPool::Allocation alloc = pool_->acquire();
+        stack_base_ = alloc.base;
+        stack_total_ = alloc.total;
+    } else {
+        stack_base_ = mapStack(stack_size, &stack_total_);
+    }
+
+#if defined(__x86_64__)
+    // Prepare the initial frame the context switch will "return" into:
+    // six callee-saved register slots (the Fiber* parked in the rbx
+    // slot) followed by the trampoline address. See context_x86_64.S.
+    uintptr_t top = reinterpret_cast<uintptr_t>(stack_base_) + stack_total_;
+    top &= ~static_cast<uintptr_t>(15);
+    auto *slots = reinterpret_cast<uint64_t *>(top - 7 * 8);
+    slots[0] = 0;                                           // r15
+    slots[1] = 0;                                           // r14
+    slots[2] = 0;                                           // r13
+    slots[3] = 0;                                           // r12
+    slots[4] = reinterpret_cast<uint64_t>(this);            // rbx
+    slots[5] = 0;                                           // rbp
+    slots[6] =
+        reinterpret_cast<uint64_t>(&gpulp_context_trampoline); // ret
+    saved_sp_ = slots;
+#else
+    auto *pair = new UctxPair;
+    getcontext(&pair->ctx);
+    pair->ctx.uc_stack.ss_sp =
+        static_cast<char *>(stack_base_) + pageSize();
+    pair->ctx.uc_stack.ss_size = stack_total_ - pageSize();
+    pair->ctx.uc_link = nullptr;
+    // The Fiber* is delivered through a thread-local set just before
+    // the first swap; makecontext's int-argument interface cannot carry
+    // a 64-bit pointer portably.
+    makecontext(&pair->ctx, reinterpret_cast<void (*)()>(&ucontextEntry),
+                0);
+    saved_sp_ = pair;
+    resumer_sp_ = new UctxPair;
+#endif
+}
+
+Fiber::~Fiber()
+{
+    GPULP_ASSERT(!started_ || finished_,
+                 "destroying a suspended fiber mid-execution");
+#if !defined(__x86_64__)
+    delete static_cast<UctxPair *>(saved_sp_);
+    delete static_cast<UctxPair *>(resumer_sp_);
+#endif
+    if (pool_)
+        pool_->release({stack_base_, stack_total_});
+    else
+        unmapStack(stack_base_, stack_total_);
+}
+
+void
+Fiber::resume()
+{
+    GPULP_ASSERT(!finished_, "resuming a finished fiber");
+    GPULP_ASSERT(tls_current_fiber != this, "fiber resuming itself");
+    Fiber *prev = tls_current_fiber;
+    tls_current_fiber = this;
+    started_ = true;
+#if defined(__x86_64__)
+    gpulp_context_switch(&resumer_sp_, saved_sp_);
+#else
+    auto *own = static_cast<UctxPair *>(saved_sp_);
+    auto *res = static_cast<UctxPair *>(resumer_sp_);
+    ucontext_entry_arg = this;
+    swapcontext(&res->ctx, &own->ctx);
+#endif
+    tls_current_fiber = prev;
+}
+
+void
+Fiber::yield()
+{
+    Fiber *self = tls_current_fiber;
+    GPULP_ASSERT(self != nullptr, "Fiber::yield outside any fiber");
+#if defined(__x86_64__)
+    gpulp_context_switch(&self->saved_sp_, self->resumer_sp_);
+#else
+    auto *own = static_cast<UctxPair *>(self->saved_sp_);
+    auto *res = static_cast<UctxPair *>(self->resumer_sp_);
+    swapcontext(&own->ctx, &res->ctx);
+#endif
+}
+
+Fiber *
+Fiber::current()
+{
+    return tls_current_fiber;
+}
+
+void
+Fiber::runEntry()
+{
+    entry_();
+    finished_ = true;
+    // Keep handing control back to the resumer; a finished fiber must
+    // not fall off the end of its trampoline frame.
+    while (true)
+        yield();
+}
+
+void
+fiberEntryThunk(Fiber *fiber)
+{
+    fiber->runEntry();
+}
+
+} // namespace gpulp
+
+extern "C" void
+gpulp_fiber_entry_thunk(void *fiber)
+{
+    gpulp::fiberEntryThunk(static_cast<gpulp::Fiber *>(fiber));
+    GPULP_PANIC("fiber entry thunk returned");
+}

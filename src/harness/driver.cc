@@ -1,0 +1,92 @@
+#include "driver.h"
+
+#include <cstdlib>
+
+namespace gpulp {
+
+WorkloadBench::WorkloadBench(const std::string &name, double scale)
+    : name_(name)
+{
+    DeviceParams params;
+    params.arena_bytes = 768ull * 1024 * 1024;
+    dev_ = std::make_unique<Device>(params);
+    workload_ = makeWorkload(name, scale);
+    workload_->setup(*dev_);
+}
+
+Cycles
+WorkloadBench::baselineCycles()
+{
+    if (!baseline_done_) {
+        LaunchResult r = runBaseline(*dev_, *workload_);
+        GPULP_ASSERT(!r.crashed, "baseline run crashed");
+        baseline_cycles_ = r.cycles;
+        baseline_traffic_ = r.traffic;
+        baseline_done_ = true;
+    }
+    return baseline_cycles_;
+}
+
+MeasuredRun
+WorkloadBench::measure(LpConfig cfg)
+{
+    if (cfg.load_factor <= 0.0) {
+        if (cfg.table == TableKind::QuadProbe)
+            cfg.load_factor = workload_->quadLoadFactor();
+        else if (cfg.table == TableKind::Cuckoo)
+            cfg.load_factor = workload_->cuckooLoadFactor();
+    }
+
+    MeasuredRun run;
+    run.workload = name_;
+    run.config = cfg;
+    run.baseline_cycles = baselineCycles();
+    run.baseline_traffic = baseline_traffic_;
+    run.num_blocks = workload_->launchConfig().numBlocks();
+    run.output_bytes = workload_->outputBytes();
+
+    LpRuntime lp(*dev_, cfg, workload_->launchConfig());
+    LaunchResult r = runWithLp(*dev_, *workload_, lp);
+    GPULP_ASSERT(!r.crashed, "LP run crashed");
+
+    run.lp_cycles = r.cycles;
+    run.lp_traffic = r.traffic;
+    run.overhead = overheadOf(run.baseline_cycles, run.lp_cycles);
+    run.store_stats = lp.store().stats();
+    run.lp_footprint_bytes = lp.footprintBytes();
+    return run;
+}
+
+std::vector<MeasuredRun>
+measureSuite(std::vector<std::unique_ptr<WorkloadBench>> &benches,
+             LpConfig cfg)
+{
+    std::vector<MeasuredRun> runs;
+    runs.reserve(benches.size());
+    for (auto &bench : benches)
+        runs.push_back(bench->measure(cfg));
+    return runs;
+}
+
+std::vector<std::unique_ptr<WorkloadBench>>
+makeSuite(double scale)
+{
+    std::vector<std::unique_ptr<WorkloadBench>> benches;
+    for (const std::string &name : workloadNames())
+        benches.push_back(std::make_unique<WorkloadBench>(name, scale));
+    return benches;
+}
+
+double
+benchScaleFromEnv()
+{
+    const char *env = std::getenv("GPULP_SCALE");
+    if (!env)
+        return 1.0;
+    double scale = std::atof(env);
+    if (scale <= 0.0 || scale > 1.0)
+        GPULP_FATAL("GPULP_SCALE must be in (0, 1], got '%s'", env);
+    return scale;
+}
+
+} // namespace gpulp

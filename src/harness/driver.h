@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Experiment driver shared by the paper-reproduction benches.
+ *
+ * A driver owns one Device per workload, sets the workload up once,
+ * measures the baseline once and then measures any number of LP
+ * configurations against it, returning the overhead metric the paper
+ * reports. Hashed-table load factors default to the per-benchmark
+ * values inferred from Table II (see Workload::quadLoadFactor()).
+ */
+
+#ifndef GPULP_HARNESS_DRIVER_H
+#define GPULP_HARNESS_DRIVER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace gpulp {
+
+/** One measured (workload, LP configuration) pair. */
+struct MeasuredRun {
+    std::string workload;
+    LpConfig config;
+    Cycles baseline_cycles = 0;
+    Cycles lp_cycles = 0;
+    double overhead = 0.0;          //!< fractional (0.081 == 8.1%)
+    StoreStats store_stats;         //!< collision counters (Table II)
+    uint64_t lp_footprint_bytes = 0;//!< store + scratch
+    uint64_t output_bytes = 0;      //!< persistent workload output
+    uint64_t num_blocks = 0;
+    MemTrafficStats baseline_traffic;
+    MemTrafficStats lp_traffic;
+};
+
+/**
+ * Per-workload measurement context: device + initialized workload +
+ * cached baseline.
+ */
+class WorkloadBench
+{
+  public:
+    /**
+     * @param name Workload name (see workloadNames()).
+     * @param scale Fraction of the paper-scale block count.
+     */
+    explicit WorkloadBench(const std::string &name, double scale = 1.0);
+
+    /** The workload under test. */
+    Workload &workload() { return *workload_; }
+
+    /** The device everything runs on. */
+    Device &device() { return *dev_; }
+
+    /** Baseline kernel time (first call runs the kernel). */
+    Cycles baselineCycles();
+
+    /** Baseline traffic counters (valid after baselineCycles()). */
+    const MemTrafficStats &baselineTraffic() const
+    {
+        return baseline_traffic_;
+    }
+
+    /**
+     * Measure one LP configuration. A zero cfg.load_factor is replaced
+     * by the workload's calibrated per-table default.
+     */
+    MeasuredRun measure(LpConfig cfg);
+
+  private:
+    std::string name_;
+    std::unique_ptr<Device> dev_;
+    std::unique_ptr<Workload> workload_;
+    bool baseline_done_ = false;
+    Cycles baseline_cycles_ = 0;
+    MemTrafficStats baseline_traffic_;
+};
+
+/**
+ * Measure one configuration across the whole suite, reusing a list of
+ * prepared benches. Returns runs in suite order.
+ */
+std::vector<MeasuredRun> measureSuite(
+    std::vector<std::unique_ptr<WorkloadBench>> &benches, LpConfig cfg);
+
+/** Prepare benches for every workload in the suite at @p scale. */
+std::vector<std::unique_ptr<WorkloadBench>> makeSuite(double scale = 1.0);
+
+/**
+ * Scale factor for bench binaries: reads the GPULP_SCALE environment
+ * variable (a float in (0, 1]), defaulting to 1.0 (paper-scale block
+ * counts).
+ */
+double benchScaleFromEnv();
+
+} // namespace gpulp
+
+#endif // GPULP_HARNESS_DRIVER_H

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The runtime contract targeted by lpcudac-generated code (Sec. VI).
+ *
+ * The translator lowers `#pragma nvm lpcuda_init` to
+ * initChecksumTable() and `#pragma nvm lpcuda_checksum` to an
+ * updateChecksum() call next to the protected store; the generated
+ * check-and-recovery kernel calls validate(). On a real CUDA target
+ * these map onto the device-side LP runtime (gpulp::LpRuntime and the
+ * checksum global array); the host-side reference implementation here
+ * gives the same semantics for unit tests and the pragma example —
+ * checksums accumulate per key tuple under the directive's operator.
+ */
+
+#ifndef GPULP_LPDSL_LPCUDA_RUNTIME_H
+#define GPULP_LPDSL_LPCUDA_RUNTIME_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/floatbits.h"
+#include "common/logging.h"
+
+namespace gpulp::lpcuda {
+
+/** Host-side reference checksum table keyed by key tuples. */
+class ChecksumTable
+{
+  public:
+    ChecksumTable(std::string name, uint64_t nelems, uint32_t selem)
+        : name_(std::move(name)), nelems_(nelems), selem_(selem)
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    uint64_t nelems() const { return nelems_; }
+    uint32_t checksumsPerElem() const { return selem_; }
+
+    /** Fold @p bits into the entry for @p key under operator @p op. */
+    void
+    fold(const std::string &op, const std::vector<uint64_t> &key,
+         uint32_t bits)
+    {
+        uint32_t &entry = entries_[key];
+        if (op == "+")
+            entry += bits;
+        else if (op == "^")
+            entry ^= bits;
+        else
+            GPULP_FATAL("unsupported checksum operator '%s'", op.c_str());
+    }
+
+    /** Stored checksum for @p key, or 0 when absent. */
+    uint32_t
+    stored(const std::vector<uint64_t> &key) const
+    {
+        auto it = entries_.find(key);
+        return it == entries_.end() ? 0 : it->second;
+    }
+
+    /** Number of distinct keys touched. */
+    size_t keyCount() const { return entries_.size(); }
+
+  private:
+    std::string name_;
+    uint64_t nelems_;
+    uint32_t selem_;
+    std::map<std::vector<uint64_t>, uint32_t> entries_;
+};
+
+/** Handle returned by initChecksumTable(); shared with device code. */
+using TableHandle = std::shared_ptr<ChecksumTable>;
+
+/** Lowering of `#pragma nvm lpcuda_init(tab, nelems, selem)`. */
+inline TableHandle
+initChecksumTable(const char *name, uint64_t nelems, uint32_t selem)
+{
+    return std::make_shared<ChecksumTable>(name, nelems, selem);
+}
+
+namespace detail {
+
+inline uint32_t
+toBits(float value)
+{
+    return floatToOrderedInt(value);
+}
+
+inline uint32_t
+toBits(double value)
+{
+    return static_cast<uint32_t>(doubleToOrderedInt(value) ^
+                                 (doubleToOrderedInt(value) >> 32));
+}
+
+template <typename T>
+inline uint32_t
+toBits(T value)
+{
+    return static_cast<uint32_t>(value);
+}
+
+} // namespace detail
+
+/** Lowering of `#pragma nvm lpcuda_checksum(op, tab, key...)`. */
+template <typename T, typename... Keys>
+inline void
+updateChecksum(const char *op, const TableHandle &table, T value,
+               Keys... keys)
+{
+    table->fold(op, {static_cast<uint64_t>(keys)...},
+                detail::toBits(value));
+}
+
+/** Check-and-recovery comparison used by generated cr* kernels. */
+template <typename T, typename... Keys>
+inline bool
+validate(T value, const char *op, const TableHandle &table, Keys... keys)
+{
+    ChecksumTable fresh(table->name(), table->nelems(),
+                        table->checksumsPerElem());
+    fresh.fold(op, {static_cast<uint64_t>(keys)...},
+               detail::toBits(value));
+    return fresh.stored({static_cast<uint64_t>(keys)...}) ==
+           table->stored({static_cast<uint64_t>(keys)...});
+}
+
+} // namespace gpulp::lpcuda
+
+#endif // GPULP_LPDSL_LPCUDA_RUNTIME_H

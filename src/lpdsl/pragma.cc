@@ -1,0 +1,204 @@
+#include "pragma.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace gpulp::lpdsl {
+
+namespace {
+
+/** True if @p text starts with @p prefix at @p pos, advancing pos. */
+bool
+consume(const std::string &text, size_t &pos, const std::string &prefix)
+{
+    if (text.compare(pos, prefix.size(), prefix) != 0)
+        return false;
+    pos += prefix.size();
+    return true;
+}
+
+void
+skipSpace(const std::string &text, size_t &pos)
+{
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+    }
+}
+
+} // namespace
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+splitTopLevelArgs(const std::string &text)
+{
+    std::vector<std::string> args;
+    int depth = 0;
+    bool in_string = false;
+    std::string current;
+    for (char c : text) {
+        if (in_string) {
+            current += c;
+            if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_string = true;
+            current += c;
+            break;
+          case '(':
+          case '[':
+          case '{':
+            ++depth;
+            current += c;
+            break;
+          case ')':
+          case ']':
+          case '}':
+            --depth;
+            current += c;
+            break;
+          case ',':
+            if (depth == 0) {
+                args.push_back(trim(current));
+                current.clear();
+            } else {
+                current += c;
+            }
+            break;
+          default:
+            current += c;
+        }
+    }
+    std::string last = trim(current);
+    if (!last.empty())
+        args.push_back(last);
+    return args;
+}
+
+std::optional<Pragma>
+parsePragmaLine(const std::string &line, size_t line_no, std::string *error)
+{
+    size_t pos = 0;
+    skipSpace(line, pos);
+    if (!consume(line, pos, "#"))
+        return std::nullopt;
+    skipSpace(line, pos);
+    if (!consume(line, pos, "pragma"))
+        return std::nullopt;
+    skipSpace(line, pos);
+    if (!consume(line, pos, "nvm"))
+        return std::nullopt;
+    skipSpace(line, pos);
+
+    PragmaKind kind;
+    if (consume(line, pos, "lpcuda_init")) {
+        kind = PragmaKind::Init;
+    } else if (consume(line, pos, "lpcuda_checksum")) {
+        kind = PragmaKind::Checksum;
+    } else {
+        if (error) {
+            *error = detail::formatString(
+                "line %zu: unknown nvm directive: %s", line_no + 1,
+                trim(line).c_str());
+        }
+        return std::nullopt;
+    }
+
+    skipSpace(line, pos);
+    if (pos >= line.size() || line[pos] != '(') {
+        if (error) {
+            *error = detail::formatString(
+                "line %zu: expected '(' after directive name", line_no + 1);
+        }
+        return std::nullopt;
+    }
+    size_t close = line.rfind(')');
+    if (close == std::string::npos || close <= pos) {
+        if (error) {
+            *error = detail::formatString(
+                "line %zu: unterminated directive argument list",
+                line_no + 1);
+        }
+        return std::nullopt;
+    }
+
+    Pragma pragma;
+    pragma.kind = kind;
+    pragma.line = line_no;
+    pragma.args = splitTopLevelArgs(line.substr(pos + 1, close - pos - 1));
+
+    size_t min_args = kind == PragmaKind::Init ? 3 : 3;
+    if (pragma.args.size() < min_args) {
+        if (error) {
+            *error = detail::formatString(
+                "line %zu: directive needs at least %zu arguments, got %zu",
+                line_no + 1, min_args, pragma.args.size());
+        }
+        return std::nullopt;
+    }
+    return pragma;
+}
+
+const std::string &
+Pragma::tableId() const
+{
+    GPULP_ASSERT(kind == PragmaKind::Init, "tableId on non-init pragma");
+    return args[0];
+}
+
+const std::string &
+Pragma::elemCount() const
+{
+    GPULP_ASSERT(kind == PragmaKind::Init, "elemCount on non-init pragma");
+    return args[1];
+}
+
+const std::string &
+Pragma::checksumsPerElem() const
+{
+    GPULP_ASSERT(kind == PragmaKind::Init,
+                 "checksumsPerElem on non-init pragma");
+    return args[2];
+}
+
+const std::string &
+Pragma::checksumOp() const
+{
+    GPULP_ASSERT(kind == PragmaKind::Checksum,
+                 "checksumOp on non-checksum pragma");
+    return args[0];
+}
+
+const std::string &
+Pragma::checksumTable() const
+{
+    GPULP_ASSERT(kind == PragmaKind::Checksum,
+                 "checksumTable on non-checksum pragma");
+    return args[1];
+}
+
+std::vector<std::string>
+Pragma::keys() const
+{
+    GPULP_ASSERT(kind == PragmaKind::Checksum, "keys on non-checksum pragma");
+    return std::vector<std::string>(args.begin() + 2, args.end());
+}
+
+} // namespace gpulp::lpdsl

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Parsing of the paper's LP directives (Sec. VI):
+ *
+ *   #pragma nvm lpcuda_init(checksum_tab_id, nelems, selem)
+ *   #pragma nvm lpcuda_checksum(checksum_type, checksum_tab_id, key1, ...)
+ *
+ * The first declares and sizes a checksum table on the host before a
+ * kernel launch; the second, placed immediately before a store
+ * statement inside a kernel, requests that the stored value be folded
+ * into the region checksum under the given reduction operator ("+" for
+ * modular, "^" for parity) and keyed by the listed variables.
+ */
+
+#ifndef GPULP_LPDSL_PRAGMA_H
+#define GPULP_LPDSL_PRAGMA_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gpulp::lpdsl {
+
+/** Which of the two supported directives a line contains. */
+enum class PragmaKind {
+    Init,     //!< lpcuda_init
+    Checksum, //!< lpcuda_checksum
+};
+
+/** One parsed directive. */
+struct Pragma {
+    PragmaKind kind;
+    size_t line = 0;                //!< 0-based line number in the input
+    std::vector<std::string> args;  //!< raw argument expressions
+
+    /** lpcuda_init: the checksum-table identifier. */
+    const std::string &tableId() const;
+
+    /** lpcuda_init: element-count expression. */
+    const std::string &elemCount() const;
+
+    /** lpcuda_init: checksums-per-element expression. */
+    const std::string &checksumsPerElem() const;
+
+    /** lpcuda_checksum: the checksum operator ("+" or "^"). */
+    const std::string &checksumOp() const;
+
+    /** lpcuda_checksum: the checksum-table identifier. */
+    const std::string &checksumTable() const;
+
+    /** lpcuda_checksum: the key expressions (key1...). */
+    std::vector<std::string> keys() const;
+};
+
+/**
+ * Try to parse @p line as an LP directive.
+ *
+ * @param line One source line.
+ * @param line_no Its 0-based position, recorded into the result.
+ * @param error Out: set to a human-readable message when the line is an
+ *        `#pragma nvm` directive but malformed; untouched otherwise.
+ * @return The parsed pragma, or nullopt when the line is not an LP
+ *         directive (or is malformed — check @p error to distinguish).
+ */
+std::optional<Pragma> parsePragmaLine(const std::string &line,
+                                      size_t line_no, std::string *error);
+
+/**
+ * Split a balanced argument list "a, f(b, c), d" into top-level
+ * comma-separated pieces, trimming whitespace.
+ */
+std::vector<std::string> splitTopLevelArgs(const std::string &text);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &text);
+
+} // namespace gpulp::lpdsl
+
+#endif // GPULP_LPDSL_PRAGMA_H

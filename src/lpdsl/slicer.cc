@@ -1,0 +1,202 @@
+#include "slicer.h"
+
+#include <cctype>
+
+#include "pragma.h"
+
+namespace gpulp::lpdsl {
+
+namespace {
+
+/** C/CUDA keywords and types excluded from identifier extraction. */
+const std::set<std::string> &
+keywords()
+{
+    static const std::set<std::string> set = {
+        "int",      "unsigned", "long",   "short",  "char",   "float",
+        "double",   "bool",     "void",   "const",  "auto",   "uint32_t",
+        "uint64_t", "int32_t",  "int64_t","size_t", "if",     "else",
+        "for",      "while",    "return", "break",  "continue",
+        "__shared__", "__global__", "__device__", "static",  "struct",
+        "true",     "false",    "sizeof",
+    };
+    return set;
+}
+
+} // namespace
+
+std::vector<std::string>
+splitStatements(const std::string &body)
+{
+    std::vector<std::string> statements;
+    std::string current;
+    int depth = 0;
+    bool in_string = false;
+    for (char c : body) {
+        if (in_string) {
+            current += c;
+            if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_string = true;
+            current += c;
+            break;
+          case '(':
+          case '[':
+          case '{':
+            ++depth;
+            current += c;
+            break;
+          case ')':
+          case ']':
+          case '}':
+            --depth;
+            current += c;
+            break;
+          case ';':
+            if (depth == 0) {
+                std::string text = trim(current);
+                if (!text.empty())
+                    statements.push_back(text);
+                current.clear();
+            } else {
+                current += c;
+            }
+            break;
+          default:
+            current += c;
+        }
+    }
+    std::string text = trim(current);
+    if (!text.empty())
+        statements.push_back(text);
+    return statements;
+}
+
+std::set<std::string>
+extractIdentifiers(const std::string &expr)
+{
+    std::set<std::string> names;
+    size_t pos = 0;
+    while (pos < expr.size()) {
+        unsigned char c = static_cast<unsigned char>(expr[pos]);
+        if (std::isalpha(c) || c == '_') {
+            size_t begin = pos;
+            while (pos < expr.size() &&
+                   (std::isalnum(static_cast<unsigned char>(expr[pos])) ||
+                    expr[pos] == '_')) {
+                ++pos;
+            }
+            std::string name = expr.substr(begin, pos - begin);
+            // Member accesses (a.b) keep only the base object name.
+            if (begin > 0 && expr[begin - 1] == '.')
+                continue;
+            if (!keywords().count(name))
+                names.insert(name);
+        } else {
+            ++pos;
+        }
+    }
+    return names;
+}
+
+Statement
+analyzeStatement(const std::string &text)
+{
+    Statement stmt;
+    stmt.text = text;
+    stmt.uses = extractIdentifiers(text);
+
+    // Find a top-level '=' that is not ==, <=, >=, != to locate an
+    // assignment; the target is the last identifier before it.
+    int depth = 0;
+    size_t eq = std::string::npos;
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (c == '(' || c == '[' || c == '{')
+            ++depth;
+        else if (c == ')' || c == ']' || c == '}')
+            --depth;
+        else if (c == '=' && depth == 0) {
+            bool comparison =
+                (i + 1 < text.size() && text[i + 1] == '=') ||
+                (i > 0 && (text[i - 1] == '=' || text[i - 1] == '!' ||
+                           text[i - 1] == '<' || text[i - 1] == '>' ||
+                           text[i - 1] == '+' || text[i - 1] == '-' ||
+                           text[i - 1] == '*' || text[i - 1] == '/'));
+            if (!comparison) {
+                eq = i;
+                break;
+            }
+        }
+    }
+    if (eq != std::string::npos) {
+        std::string lhs = trim(text.substr(0, eq));
+        // Target: the final identifier of the LHS ("int c" -> c,
+        // "c" -> c). Indexed targets (a[i]) are treated as assigning
+        // the array name.
+        auto ids_in_lhs = extractIdentifiers(lhs);
+        // Walk backward for the last identifier token.
+        for (size_t i = lhs.size(); i > 0; --i) {
+            unsigned char c = static_cast<unsigned char>(lhs[i - 1]);
+            if (std::isalnum(c) || c == '_') {
+                size_t end = i;
+                size_t begin = i;
+                while (begin > 0 &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            lhs[begin - 1])) ||
+                        lhs[begin - 1] == '_')) {
+                    --begin;
+                }
+                std::string name = lhs.substr(begin, end - begin);
+                if (!keywords().count(name)) {
+                    stmt.assigned = name;
+                    break;
+                }
+                i = begin;
+            } else if (c == ']') {
+                // Skip the index expression; the array is the target.
+                int bracket = 1;
+                size_t j = i - 1;
+                while (j > 0 && bracket > 0) {
+                    --j;
+                    if (lhs[j] == ']')
+                        ++bracket;
+                    else if (lhs[j] == '[')
+                        --bracket;
+                }
+                i = j + 1;
+            }
+        }
+        (void)ids_in_lhs;
+    }
+    return stmt;
+}
+
+std::vector<Statement>
+backwardSlice(const std::vector<Statement> &statements,
+              const std::set<std::string> &targets)
+{
+    std::set<std::string> needed = targets;
+    std::vector<bool> keep(statements.size(), false);
+    for (size_t i = statements.size(); i > 0; --i) {
+        const Statement &stmt = statements[i - 1];
+        if (!stmt.assigned.empty() && needed.count(stmt.assigned)) {
+            keep[i - 1] = true;
+            needed.erase(stmt.assigned);
+            needed.insert(stmt.uses.begin(), stmt.uses.end());
+            needed.erase(stmt.assigned);
+        }
+    }
+    std::vector<Statement> slice;
+    for (size_t i = 0; i < statements.size(); ++i) {
+        if (keep[i])
+            slice.push_back(statements[i]);
+    }
+    return slice;
+}
+
+} // namespace gpulp::lpdsl

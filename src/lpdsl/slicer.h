@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Lightweight backward program slicing over kernel statements.
+ *
+ * Sec. VI of the paper: "the compiler exploits a program slice that is
+ * used for the pointer calculation" of the protected store's
+ * left-hand side, and emits it into the generated check-and-recovery
+ * kernel so the validator can recompute which memory the region wrote.
+ *
+ * This is a statement-granular, identifier-based slicer: statements
+ * are simple declarations/assignments, dependence is "statement
+ * assigns a name the slice needs", and control flow is kept whole (a
+ * `for`/`if` header is included when any needed name appears in it).
+ * That covers the kernel prologues of the paper's Listings 6-7 (thread
+ * index arithmetic feeding the output pointer) without a full C++
+ * front end.
+ */
+
+#ifndef GPULP_LPDSL_SLICER_H
+#define GPULP_LPDSL_SLICER_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gpulp::lpdsl {
+
+/** One statement of a kernel body, as split by splitStatements(). */
+struct Statement {
+    std::string text;         //!< statement text without trailing ';'
+    std::string assigned;     //!< name it assigns/declares, or empty
+    std::set<std::string> uses; //!< identifiers appearing in it
+};
+
+/**
+ * Split a brace-less statement sequence on top-level semicolons.
+ * Comments must already be stripped; strings are respected.
+ */
+std::vector<std::string> splitStatements(const std::string &body);
+
+/** Extract C identifiers from an expression (keywords excluded). */
+std::set<std::string> extractIdentifiers(const std::string &expr);
+
+/**
+ * Analyze one statement: what it assigns (declaration or plain
+ * assignment target) and which names it uses.
+ */
+Statement analyzeStatement(const std::string &text);
+
+/**
+ * Backward slice: the subsequence of @p statements needed to compute
+ * the names in @p targets, in original order.
+ */
+std::vector<Statement> backwardSlice(
+    const std::vector<Statement> &statements,
+    const std::set<std::string> &targets);
+
+} // namespace gpulp::lpdsl
+
+#endif // GPULP_LPDSL_SLICER_H

@@ -1,0 +1,307 @@
+#include "translator.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.h"
+#include "lpdsl/slicer.h"
+
+namespace gpulp::lpdsl {
+
+namespace {
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string current;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        lines.push_back(current);
+    return lines;
+}
+
+/** Strip // comments from one line (strings respected). */
+std::string
+stripLineComment(const std::string &line)
+{
+    bool in_string = false;
+    for (size_t i = 0; i + 1 < line.size(); ++i) {
+        if (line[i] == '"')
+            in_string = !in_string;
+        if (!in_string && line[i] == '/' && line[i + 1] == '/')
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+/** Description of the kernel enclosing a checksum directive. */
+struct KernelInfo {
+    std::string name;
+    std::string params;             //!< parameter list text
+    std::vector<std::string> args;  //!< parameter names only
+    size_t body_begin_line = 0;     //!< first line after the '{'
+    bool found = false;
+};
+
+/**
+ * Search backwards from @p from for the `__global__ void NAME(...)`
+ * that encloses it and capture its signature.
+ */
+KernelInfo
+findEnclosingKernel(const std::vector<std::string> &lines, size_t from)
+{
+    KernelInfo info;
+    for (size_t i = from + 1; i > 0; --i) {
+        const std::string &line = lines[i - 1];
+        size_t global = line.find("__global__");
+        if (global == std::string::npos)
+            continue;
+
+        // Accumulate the signature until the opening brace.
+        std::string signature;
+        size_t j = i - 1;
+        while (j < lines.size()) {
+            signature += stripLineComment(lines[j]);
+            signature += ' ';
+            if (signature.find('{') != std::string::npos)
+                break;
+            ++j;
+        }
+        size_t open_paren = signature.find('(');
+        size_t close_paren = signature.rfind(')');
+        if (open_paren == std::string::npos ||
+            close_paren == std::string::npos ||
+            close_paren < open_paren) {
+            return info;
+        }
+
+        // Name: last identifier before the '('.
+        size_t name_end = open_paren;
+        while (name_end > 0 && std::isspace(static_cast<unsigned char>(
+                                   signature[name_end - 1])))
+            --name_end;
+        size_t name_begin = name_end;
+        while (name_begin > 0 &&
+               (std::isalnum(static_cast<unsigned char>(
+                    signature[name_begin - 1])) ||
+                signature[name_begin - 1] == '_')) {
+            --name_begin;
+        }
+        info.name = signature.substr(name_begin, name_end - name_begin);
+        info.params = trim(
+            signature.substr(open_paren + 1, close_paren - open_paren - 1));
+        for (const std::string &param : splitTopLevelArgs(info.params)) {
+            // Parameter name: last identifier of the declarator.
+            auto stmt = analyzeStatement(param + " = 0");
+            if (!stmt.assigned.empty())
+                info.args.push_back(stmt.assigned);
+        }
+        info.body_begin_line = j + 1;
+        info.found = true;
+        return info;
+    }
+    return info;
+}
+
+/** Gather the statement text between two line indices. */
+std::string
+collectBody(const std::vector<std::string> &lines, size_t begin, size_t end)
+{
+    std::string body;
+    for (size_t i = begin; i < end && i < lines.size(); ++i) {
+        body += stripLineComment(lines[i]);
+        body += '\n';
+    }
+    return body;
+}
+
+/**
+ * Gather a full statement starting at @p line_index (the line after a
+ * checksum directive) until its terminating top-level ';'.
+ *
+ * @return The statement text (without ';') and sets @p consumed to the
+ *         number of lines it spanned.
+ */
+std::string
+collectStatement(const std::vector<std::string> &lines, size_t line_index,
+                 size_t *consumed)
+{
+    std::string text;
+    size_t used = 0;
+    for (size_t i = line_index; i < lines.size(); ++i) {
+        text += stripLineComment(lines[i]);
+        ++used;
+        // Terminated once a top-level ';' appears.
+        if (!splitStatements(text).empty() &&
+            text.find(';') != std::string::npos) {
+            break;
+        }
+        text += ' ';
+    }
+    *consumed = used;
+    auto statements = splitStatements(text);
+    if (statements.empty())
+        return std::string();
+    return statements.front();
+}
+
+/** Indentation prefix of a line. */
+std::string
+indentOf(const std::string &line)
+{
+    size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t'))
+        ++i;
+    return line.substr(0, i);
+}
+
+} // namespace
+
+TranslationResult
+translateSource(const std::string &source)
+{
+    TranslationResult result;
+    std::vector<std::string> lines = splitLines(source);
+    std::ostringstream out;
+    std::ostringstream recovery;
+
+    recovery << "// Generated by gpulp lpcudac: check-and-recovery "
+                "kernels (Sec. VI / Listing 7).\n"
+             << "#include \"lpdsl/lpcuda_runtime.h\"\n\n";
+
+    for (size_t i = 0; i < lines.size(); ++i) {
+        std::string error;
+        auto pragma = parsePragmaLine(lines[i], i, &error);
+        if (!pragma) {
+            if (!error.empty()) {
+                result.diagnostics.push_back(error);
+                return result;
+            }
+            out << lines[i] << '\n';
+            continue;
+        }
+
+        if (pragma->kind == PragmaKind::Init) {
+            ++result.init_directives;
+            std::string indent = indentOf(lines[i]);
+            out << indent << "auto " << pragma->tableId()
+                << " = gpulp::lpcuda::initChecksumTable(\""
+                << pragma->tableId() << "\", (" << pragma->elemCount()
+                << "), (" << pragma->checksumsPerElem() << "));\n";
+            continue;
+        }
+
+        // lpcuda_checksum: lower the following store statement.
+        ++result.checksum_directives;
+        size_t consumed = 0;
+        std::string statement = collectStatement(lines, i + 1, &consumed);
+        auto stmt = analyzeStatement(statement);
+        size_t eq = statement.find('=');
+        if (statement.empty() || stmt.assigned.empty() ||
+            eq == std::string::npos) {
+            result.diagnostics.push_back(detail::formatString(
+                "line %zu: lpcuda_checksum must precede an assignment "
+                "statement",
+                i + 2));
+            return result;
+        }
+        std::string lhs = trim(statement.substr(0, eq));
+        std::string rhs = trim(statement.substr(eq + 1));
+
+        std::string indent = indentOf(lines[i + 1]);
+        // The operator argument is usually already a quoted string
+        // ("+"); quote it only when the author wrote it bare.
+        std::string op = pragma->checksumOp();
+        if (op.empty() || op.front() != '"')
+            op = "\"" + op + "\"";
+        std::string keys;
+        for (const std::string &key : pragma->keys()) {
+            keys += ", ";
+            keys += key;
+        }
+        out << indent << "{\n"
+            << indent << "    auto __lp_val = (" << rhs << ");\n"
+            << indent << "    " << lhs << " = __lp_val;\n"
+            << indent << "    gpulp::lpcuda::updateChecksum(" << op
+            << ", " << pragma->checksumTable()
+            << ", __lp_val" << keys << ");\n"
+            << indent << "}\n";
+        i += consumed; // skip the original statement lines
+
+        // Generate the check-and-recovery kernel from the enclosing
+        // kernel's backward slice (Listing 7).
+        KernelInfo kernel = findEnclosingKernel(lines, pragma->line);
+        if (!kernel.found) {
+            result.diagnostics.push_back(detail::formatString(
+                "line %zu: lpcuda_checksum outside a __global__ kernel",
+                pragma->line + 1));
+            return result;
+        }
+        std::string body =
+            collectBody(lines, kernel.body_begin_line, pragma->line);
+        std::vector<Statement> statements;
+        for (const std::string &text : splitStatements(body))
+            statements.push_back(analyzeStatement(text));
+        std::vector<Statement> slice =
+            backwardSlice(statements, extractIdentifiers(lhs));
+
+        recovery << "__global__ void cr" << kernel.name << "("
+                 << kernel.params << ")\n{\n";
+        for (const Statement &s : slice)
+            recovery << "    " << s.text << ";\n";
+        recovery << "    if (!gpulp::lpcuda::validate(" << lhs << ", "
+                 << op << ", "
+                 << pragma->checksumTable() << keys << ")) {\n"
+                 << "        recovery" << kernel.name << "(";
+        for (size_t a = 0; a < kernel.args.size(); ++a) {
+            if (a)
+                recovery << ", ";
+            recovery << kernel.args[a];
+        }
+        recovery << ");\n    }\n}\n\n";
+    }
+
+    result.instrumented = out.str();
+    result.recovery = recovery.str();
+    result.ok = result.diagnostics.empty();
+    return result;
+}
+
+const std::string &
+paperMatrixMulSample()
+{
+    // Listings 5-6 of the paper, lightly condensed.
+    static const std::string sample = R"(__global__ void MatrixMulCUDA(float *C, float *A, float *B, int wA, int wB)
+{
+    int bx = blockIdx.x;
+    int by = blockIdx.y;
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    float Csub = 0;
+    for (int k = 0; k < wA; ++k) {
+        Csub += A[wA * ty + k] * B[wB * k + tx];
+    }
+    int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;
+#pragma nvm lpcuda_checksum("+", checksumMM, blockIdx.x, blockIdx.y)
+    C[c + wB * ty + tx] = Csub;
+}
+
+void host(dim3 grid, dim3 threads, float *d_C, float *d_A, float *d_B,
+          int wA, int wB)
+{
+#pragma nvm lpcuda_init(checksumMM, grid.x * grid.y, 1)
+    MatrixMulCUDA<<<grid, threads, 0, stream>>>(d_C, d_A, d_B, wA, wB);
+}
+)";
+    return sample;
+}
+
+} // namespace gpulp::lpdsl

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The directive translator of Sec. VI: a source-to-source tool that
+ * lowers `#pragma nvm lpcuda_*` annotations in CUDA-style source into
+ *
+ *  1. instrumented source — the init directive becomes a runtime call
+ *     that creates the checksum table; each checksum directive wraps
+ *     the following store so the stored value is also folded into the
+ *     region checksum (keyed as the directive specifies); and
+ *
+ *  2. a generated check-and-recovery kernel per protected store
+ *     (Listing 7 of the paper): the backward program slice that
+ *     recomputes the store's address, a checksum validation against
+ *     the table, and an invocation of the recovery function when
+ *     validation fails.
+ *
+ * The translator is deliberately line/statement-oriented — it handles
+ * the directive placement rules of the paper (init before the launch,
+ * checksum immediately before a store statement inside a __global__
+ * kernel) without a full C++ front end, and reports diagnostics for
+ * anything it cannot lower.
+ */
+
+#ifndef GPULP_LPDSL_TRANSLATOR_H
+#define GPULP_LPDSL_TRANSLATOR_H
+
+#include <string>
+#include <vector>
+
+#include "lpdsl/pragma.h"
+
+namespace gpulp::lpdsl {
+
+/** Everything produced by one translation run. */
+struct TranslationResult {
+    bool ok = false;
+    std::string instrumented;  //!< source with directives lowered
+    std::string recovery;      //!< generated check-and-recovery kernels
+    std::vector<std::string> diagnostics;
+    size_t init_directives = 0;
+    size_t checksum_directives = 0;
+};
+
+/** Translate one source buffer. */
+TranslationResult translateSource(const std::string &source);
+
+/**
+ * Convenience: translate the paper's matrix-multiply sample
+ * (Listings 5-6), used by tests and the pragma example.
+ */
+const std::string &paperMatrixMulSample();
+
+} // namespace gpulp::lpdsl
+
+#endif // GPULP_LPDSL_TRANSLATOR_H

@@ -1,0 +1,32 @@
+#include "memory.h"
+
+namespace gpulp {
+
+GlobalMemory::GlobalMemory(size_t capacity_bytes)
+    : data_(capacity_bytes), next_(64)
+{
+    GPULP_ASSERT(capacity_bytes >= 4096, "arena capacity too small");
+}
+
+Addr
+GlobalMemory::alloc(size_t bytes, size_t align)
+{
+    GPULP_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                 "alignment must be a power of two, got %zu", align);
+    size_t aligned = (next_ + align - 1) & ~(align - 1);
+    if (aligned + bytes > data_.size()) {
+        GPULP_FATAL("device arena exhausted: need %zu bytes, %zu free",
+                    bytes, data_.size() - aligned);
+    }
+    next_ = aligned + bytes;
+    return static_cast<Addr>(aligned);
+}
+
+void
+GlobalMemory::reset()
+{
+    std::memset(data_.data(), 0, next_);
+    next_ = 64;
+}
+
+} // namespace gpulp

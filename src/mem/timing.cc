@@ -1,0 +1,70 @@
+#include "timing.h"
+
+#include <cmath>
+
+namespace gpulp {
+
+MemTiming::MemTiming(const TimingParams &params) : params_(params)
+{
+    GPULP_ASSERT(params_.num_sms > 0, "need at least one SM");
+    GPULP_ASSERT(params_.bytes_per_cycle > 0, "bandwidth must be positive");
+}
+
+void
+MemTiming::reset()
+{
+    stats_ = MemTrafficStats{};
+    busy_until_.clear();
+}
+
+Cycles
+MemTiming::onGlobalLoad(size_t bytes)
+{
+    ++stats_.global_loads;
+    stats_.bytes_read += bytes;
+    return params_.global_issue_cycles;
+}
+
+Cycles
+MemTiming::onGlobalStore(size_t bytes)
+{
+    ++stats_.global_stores;
+    stats_.bytes_written += bytes;
+    return params_.global_issue_cycles;
+}
+
+Cycles
+MemTiming::onAtomic(Addr addr, Cycles now)
+{
+    ++stats_.global_atomics;
+    // Atomics serialize on 4-byte words at the L2.
+    Addr word = addr & ~Addr{3};
+    Cycles &busy = busy_until_[word];
+    Cycles start = now;
+    if (busy > now) {
+        ++stats_.atomic_conflicts;
+        stats_.atomic_wait_cycles += busy - now;
+        start = busy;
+    }
+    busy = start + params_.atomic_service_cycles;
+    return start + params_.atomic_roundtrip_cycles;
+}
+
+void
+MemTiming::holdAddressUntil(Addr addr, Cycles until)
+{
+    Addr word = addr & ~Addr{3};
+    Cycles &busy = busy_until_[word];
+    if (until > busy)
+        busy = until;
+}
+
+Cycles
+MemTiming::bandwidthCycles() const
+{
+    return static_cast<Cycles>(
+        std::llround(static_cast<double>(stats_.totalBytes()) /
+                     params_.bytes_per_cycle));
+}
+
+} // namespace gpulp

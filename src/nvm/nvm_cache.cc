@@ -1,0 +1,205 @@
+#include "nvm_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gpulp {
+
+NvmCache::NvmCache(GlobalMemory &mem, const NvmParams &params)
+    : mem_(mem), params_(params), shadow_(mem.capacity())
+{
+    GPULP_ASSERT(params_.line_bytes != 0 &&
+                     (params_.line_bytes & (params_.line_bytes - 1)) == 0,
+                 "line size must be a power of two");
+    GPULP_ASSERT(params_.associativity > 0, "associativity must be > 0");
+    size_t line_count = params_.cache_bytes / params_.line_bytes;
+    GPULP_ASSERT(line_count >= params_.associativity,
+                 "cache smaller than one set");
+    sets_ = line_count / params_.associativity;
+    lines_.assign(sets_ * params_.associativity, Line{});
+}
+
+void
+NvmCache::onStore(Addr addr, size_t bytes)
+{
+    ++stats_.stores_observed;
+    Addr first_line = addr / params_.line_bytes;
+    Addr last_line = (addr + bytes - 1) / params_.line_bytes;
+    for (Addr line = first_line; line <= last_line; ++line) {
+        if (access(line * params_.line_bytes, /*is_store=*/true))
+            ++stats_.store_hits;
+        else
+            ++stats_.store_misses;
+    }
+    if (crash_armed_ && !crash_pending_) {
+        if (crash_countdown_ == 0) {
+            crash_pending_ = true;
+        } else {
+            --crash_countdown_;
+        }
+    }
+}
+
+void
+NvmCache::onLoad(Addr addr, size_t bytes)
+{
+    Addr first_line = addr / params_.line_bytes;
+    Addr last_line = (addr + bytes - 1) / params_.line_bytes;
+    for (Addr line = first_line; line <= last_line; ++line) {
+        if (access(line * params_.line_bytes, /*is_store=*/false))
+            ++stats_.load_hits;
+        else
+            ++stats_.load_misses;
+    }
+}
+
+bool
+NvmCache::access(Addr line_start, bool is_store)
+{
+    uint64_t tag = line_start / params_.line_bytes;
+    size_t set = static_cast<size_t>(tag % sets_);
+    Line *ways = &lines_[set * params_.associativity];
+    ++tick_;
+
+    // Hit path.
+    for (size_t w = 0; w < params_.associativity; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            ways[w].lru = tick_;
+            ways[w].dirty |= is_store;
+            return true;
+        }
+    }
+
+    // Miss: pick an invalid way or the LRU victim.
+    size_t victim = 0;
+    for (size_t w = 0; w < params_.associativity; ++w) {
+        if (!ways[w].valid) {
+            victim = w;
+            break;
+        }
+        if (ways[w].lru < ways[victim].lru)
+            victim = w;
+    }
+    if (ways[victim].valid) {
+        if (ways[victim].dirty) {
+            writebackLine(ways[victim].tag);
+            ++stats_.dirty_evictions;
+        } else {
+            ++stats_.clean_evictions;
+        }
+    }
+    ways[victim] = Line{tag, tick_, true, is_store};
+    ++stats_.nvm_line_reads; // fill from NVM
+    return false;
+}
+
+void
+NvmCache::writebackLine(uint64_t tag)
+{
+    Addr start = lineAddr(tag);
+    size_t used = mem_.used();
+    if (start >= used)
+        return; // line beyond the allocated region; nothing meaningful
+    size_t len = std::min(params_.line_bytes, used - start);
+    std::memcpy(shadow_.data() + start, mem_.raw(start), len);
+}
+
+void
+NvmCache::persistAll()
+{
+    // Publish the whole arena (covers host raw() writes that never went
+    // through the observer) and clean every line.
+    std::memcpy(shadow_.data(), mem_.raw(0), mem_.used());
+    for (auto &line : lines_) {
+        if (line.valid && line.dirty) {
+            line.dirty = false;
+            ++stats_.flushed_lines;
+        }
+    }
+}
+
+void
+NvmCache::crash()
+{
+    // Volatile state is lost: rewind the arena to the NVM image.
+    std::memcpy(mem_.raw(0), shadow_.data(), mem_.used());
+    invalidateAll();
+    crash_armed_ = false;
+    crash_pending_ = false;
+}
+
+uint64_t
+NvmCache::flushRange(Addr addr, size_t bytes)
+{
+    GPULP_ASSERT(bytes > 0, "empty flush range");
+    uint64_t flushed = 0;
+    uint64_t first = addr / params_.line_bytes;
+    uint64_t last = (addr + bytes - 1) / params_.line_bytes;
+    for (uint64_t tag = first; tag <= last; ++tag) {
+        size_t set = static_cast<size_t>(tag % sets_);
+        Line *ways = &lines_[set * params_.associativity];
+        for (size_t w = 0; w < params_.associativity; ++w) {
+            if (ways[w].valid && ways[w].tag == tag && ways[w].dirty) {
+                writebackLine(tag);
+                ways[w].dirty = false;
+                ++stats_.flushed_lines;
+                ++flushed;
+            }
+        }
+    }
+    return flushed;
+}
+
+void
+NvmCache::invalidateAll()
+{
+    for (auto &line : lines_)
+        line = Line{};
+}
+
+void
+NvmCache::crashAfterStores(uint64_t stores)
+{
+    crash_armed_ = true;
+    crash_pending_ = false;
+    crash_countdown_ = stores;
+}
+
+void
+NvmCache::disarmCrash()
+{
+    crash_armed_ = false;
+    crash_pending_ = false;
+}
+
+bool
+NvmCache::isPersisted(Addr addr, size_t bytes) const
+{
+    GPULP_ASSERT(addr + bytes <= shadow_.size(), "isPersisted OOB");
+    // Durable iff the NVM image already holds the current contents; a
+    // dirty-but-value-equal line is durable content-wise, which is what
+    // checksum validation observes after a crash.
+    return std::memcmp(shadow_.data() + addr, mem_.raw(addr), bytes) == 0;
+}
+
+void
+NvmCache::readPersisted(Addr addr, size_t bytes, void *out) const
+{
+    GPULP_ASSERT(addr + bytes <= shadow_.size(), "readPersisted OOB");
+    std::memcpy(out, shadow_.data() + addr, bytes);
+}
+
+double
+NvmCache::nvmDeviceTimeNs() const
+{
+    double bytes_moved = static_cast<double>(
+        (stats_.nvm_line_reads + stats_.nvmLineWrites()) *
+        params_.line_bytes);
+    double bw_ns = bytes_moved / params_.bandwidth_gbps; // GB/s == B/ns
+    double latency_ns =
+        static_cast<double>(stats_.nvm_line_reads) * params_.read_latency_ns +
+        static_cast<double>(stats_.nvmLineWrites()) * params_.write_latency_ns;
+    return bw_ns + latency_ns;
+}
+
+} // namespace gpulp

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * NVM persistency-domain model: a write-back set-associative cache in
+ * front of a byte-addressable NVM device.
+ *
+ * Lazy Persistency's whole premise is that stores persist only when
+ * their cache line is *naturally evicted*. This model makes that
+ * concrete for the simulator:
+ *
+ *  - GlobalMemory always holds the current (volatile) contents;
+ *  - a shadow buffer holds the NVM (persisted) contents;
+ *  - every observed store dirties a cache line; evicting a dirty line
+ *    copies its bytes from the arena into the shadow (a write-back);
+ *  - crash() throws away all dirty lines and restores the shadow into
+ *    the arena — the exact state a crash-recovery kernel would see;
+ *  - persistAll() is the paper's periodic whole-cache flush /
+ *    checkpoint: it publishes the entire arena to the shadow.
+ *
+ * The model also counts NVM line reads/writes, which is the metric of
+ * the paper's write-amplification study (Sec. VII-3): LP's only extra
+ * NVM writes come from naturally-evicted checksum lines.
+ *
+ * Crash injection: arm the cache with crashAfterStores(n); once n more
+ * stores have been observed the crashPending() flag latches, and the
+ * kernel launcher aborts the in-flight grid with a simulated crash.
+ */
+
+#ifndef GPULP_NVM_NVM_CACHE_H
+#define GPULP_NVM_NVM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/zeroed_buffer.h"
+#include "mem/memory.h"
+
+namespace gpulp {
+
+/** Geometry and device timing of the NVM persistency domain. */
+struct NvmParams {
+    size_t cache_bytes = 6 * 1024 * 1024; //!< V100 L2: 6 MiB
+    size_t line_bytes = 128;              //!< GPU cache-line/sector size
+    size_t associativity = 16;
+
+    // NVM device characteristics, matching the paper's GPGPU-Sim setup
+    // (Sec. VII-3): 160 ns read, 480 ns write, 326.4 GB/s.
+    double read_latency_ns = 160.0;
+    double write_latency_ns = 480.0;
+    double bandwidth_gbps = 326.4;
+};
+
+/** Counters accumulated by the cache/NVM model. */
+struct NvmStats {
+    uint64_t load_hits = 0;
+    uint64_t load_misses = 0;
+    uint64_t store_hits = 0;
+    uint64_t store_misses = 0;
+    uint64_t clean_evictions = 0;
+    uint64_t dirty_evictions = 0;  //!< natural write-backs to NVM
+    uint64_t flushed_lines = 0;    //!< write-backs forced by persistAll()
+    uint64_t nvm_line_reads = 0;   //!< fills served from NVM
+    uint64_t stores_observed = 0;
+
+    /** Total lines written to the NVM device (natural + flushed). */
+    uint64_t nvmLineWrites() const { return dirty_evictions + flushed_lines; }
+};
+
+/**
+ * Write-back LRU cache over GlobalMemory with an NVM shadow.
+ *
+ * Install via GlobalMemory::setObserver. While installed, every typed
+ * read/write is tracked; host raw() accesses bypass the model and must
+ * be followed by persistAll() if their effects should be durable.
+ */
+class NvmCache : public MemObserver
+{
+  public:
+    /**
+     * @param mem Arena whose persistency state is being modelled.
+     * @param params Cache geometry and NVM device characteristics.
+     */
+    NvmCache(GlobalMemory &mem, const NvmParams &params = NvmParams{});
+
+    // MemObserver interface -------------------------------------------------
+
+    void onStore(Addr addr, size_t bytes) override;
+    void onLoad(Addr addr, size_t bytes) override;
+
+    // Persistency operations ------------------------------------------------
+
+    /**
+     * Publish the entire arena to the NVM shadow and mark every cached
+     * line clean. Models a checkpoint / whole-cache flush; also the
+     * correct way to make host-side raw() initialization durable.
+     */
+    void persistAll();
+
+    /**
+     * Simulate a power failure: every dirty line's contents are lost
+     * and the arena is rewound to the NVM shadow. The cache is
+     * invalidated. crashPending() is cleared.
+     */
+    void crash();
+
+    /** Drop all lines without writing anything back (test helper). */
+    void invalidateAll();
+
+    /**
+     * Write back (without evicting) every line covering
+     * [addr, addr+bytes) — the semantics of clwb, the x86 instruction
+     * Eager Persistency builds on (Sec. I). Returns the number of
+     * dirty lines actually written to NVM.
+     */
+    uint64_t flushRange(Addr addr, size_t bytes);
+
+    // Crash injection --------------------------------------------------------
+
+    /** Latch crashPending() after @p stores more observed stores. */
+    void crashAfterStores(uint64_t stores);
+
+    /** Disarm any pending crash trigger. */
+    void disarmCrash();
+
+    /** True once the armed store countdown has expired. */
+    bool crashPending() const { return crash_pending_; }
+
+    // Introspection ----------------------------------------------------------
+
+    /**
+     * True if every byte of [addr, addr+bytes) is durable, i.e. the NVM
+     * image already matches the current arena contents.
+     */
+    bool isPersisted(Addr addr, size_t bytes) const;
+
+    /** Read @p bytes of the *persisted* image (test/validation helper). */
+    void readPersisted(Addr addr, size_t bytes, void *out) const;
+
+    /** Counters since construction or resetStats(). */
+    const NvmStats &stats() const { return stats_; }
+
+    /** Zero the counters (cache contents are kept). */
+    void resetStats() { stats_ = NvmStats{}; }
+
+    /** Model parameters in force. */
+    const NvmParams &params() const { return params_; }
+
+    /** Nanoseconds the NVM device spent on reads+writes so far. */
+    double nvmDeviceTimeNs() const;
+
+  private:
+    struct Line {
+        uint64_t tag = 0;
+        uint64_t lru = 0;       //!< last-touch stamp
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    /** Number of sets in the cache. */
+    size_t numSets() const { return sets_; }
+
+    /** Byte address of the first byte of @p line_index-th line. */
+    Addr lineAddr(uint64_t tag) const { return tag * params_.line_bytes; }
+
+    /** Touch the line containing @p addr; returns hit/miss. */
+    bool access(Addr addr, bool is_store);
+
+    /** Write a line's current arena bytes into the shadow. */
+    void writebackLine(uint64_t tag);
+
+    GlobalMemory &mem_;
+    NvmParams params_;
+    size_t sets_;
+    std::vector<Line> lines_; //!< sets_ x associativity, row-major
+    ZeroedBuffer shadow_;
+    uint64_t tick_ = 0;
+    NvmStats stats_;
+
+    bool crash_armed_ = false;
+    bool crash_pending_ = false;
+    uint64_t crash_countdown_ = 0;
+};
+
+} // namespace gpulp
+
+#endif // GPULP_NVM_NVM_CACHE_H

@@ -1,0 +1,128 @@
+#include "device.h"
+
+#include <algorithm>
+#include <exception>
+#include <vector>
+
+namespace gpulp {
+
+Device::Device(DeviceParams params)
+    : params_(params), mem_(params.arena_bytes), timing_(params.timing),
+      stack_pool_(params.fiber_stack_bytes)
+{
+}
+
+void
+Device::attachNvm(NvmCache *nvm)
+{
+    nvm_ = nvm;
+    mem_.setObserver(nvm);
+}
+
+Cycles
+Device::runBlock(const LaunchConfig &cfg, Dim3 block_idx, Cycles start,
+                 const KernelFn &kernel, bool *crashed)
+{
+    BlockState state(mem_, timing_, nvm_, block_idx, cfg, start,
+                     params_.shared_bytes);
+    const uint32_t n = state.numThreads();
+
+    std::vector<ThreadCtx> ctxs;
+    ctxs.reserve(n);
+    for (uint32_t t = 0; t < n; ++t) {
+        uint32_t tx = t % cfg.block.x;
+        uint32_t ty = (t / cfg.block.x) % cfg.block.y;
+        uint32_t tz = t / (cfg.block.x * cfg.block.y);
+        ctxs.emplace_back(state, Dim3(tx, ty, tz), t);
+    }
+
+    bool block_crashed = false;
+    std::vector<std::unique_ptr<Fiber>> fibers;
+    fibers.reserve(n);
+    for (uint32_t t = 0; t < n; ++t) {
+        ThreadCtx *ctx = &ctxs[t];
+        const KernelFn *fn = &kernel;
+        bool *crashed_flag = &block_crashed;
+        fibers.push_back(std::make_unique<Fiber>(
+            [ctx, fn, crashed_flag] {
+                try {
+                    (*fn)(*ctx);
+                } catch (const SimCrash &) {
+                    *crashed_flag = true;
+                } catch (const std::exception &e) {
+                    GPULP_PANIC("kernel thread threw: %s", e.what());
+                }
+            },
+            &stack_pool_));
+    }
+
+    // Round-robin scheduling with deadlock detection: a full pass in
+    // which nothing arrives, releases or exits means the block can
+    // never make progress (e.g. a barrier some threads skipped).
+    while (state.liveThreads() > 0) {
+        uint64_t before = state.progress();
+        for (uint32_t t = 0; t < n; ++t) {
+            if (fibers[t]->finished())
+                continue;
+            fibers[t]->resume();
+            if (fibers[t]->finished())
+                state.onThreadExit(ctxs[t]);
+        }
+        if (state.liveThreads() > 0 && state.progress() == before) {
+            GPULP_PANIC("thread block (%u,%u,%u) deadlocked: %u threads "
+                        "waiting on a collective that cannot release",
+                        block_idx.x, block_idx.y, block_idx.z,
+                        state.liveThreads());
+        }
+    }
+
+    if (block_crashed)
+        *crashed = true;
+
+    Cycles end = start;
+    for (const ThreadCtx &ctx : ctxs)
+        end = std::max(end, ctx.now());
+    return end;
+}
+
+LaunchResult
+Device::launch(const LaunchConfig &cfg, const KernelFn &kernel)
+{
+    ++launch_count_;
+    timing_.reset();
+
+    const uint64_t num_blocks = cfg.numBlocks();
+    GPULP_ASSERT(num_blocks > 0, "empty grid");
+
+    // Greedy schedule: each block goes to the SM that frees up first.
+    // With rank-order execution this is round-robin over the first
+    // wave and earliest-finish-first afterwards.
+    std::vector<Cycles> sm_free(params_.timing.num_sms, 0);
+
+    LaunchResult result;
+    for (uint64_t rank = 0; rank < num_blocks; ++rank) {
+        if (nvm_ && nvm_->crashPending()) {
+            result.crashed = true;
+            break;
+        }
+        auto sm = std::min_element(sm_free.begin(), sm_free.end());
+        bool crashed = false;
+        Cycles end =
+            runBlock(cfg, cfg.blockIdxOf(rank), *sm, kernel, &crashed);
+        if (crashed) {
+            result.crashed = true;
+            break;
+        }
+        *sm = end;
+        ++result.blocks_completed;
+    }
+
+    result.critical_path =
+        *std::max_element(sm_free.begin(), sm_free.end());
+    result.bandwidth_cycles = timing_.bandwidthCycles();
+    result.cycles = std::max(result.critical_path, result.bandwidth_cycles);
+    result.traffic = timing_.stats();
+    return result;
+}
+
+} // namespace gpulp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The simulated GPU device: owns global memory, the timing model and
+ * the kernel launcher.
+ *
+ * Usage mirrors the CUDA host API the paper's benchmarks use:
+ *
+ * @code
+ *   Device dev;
+ *   auto a = ArrayRef<float>::allocate(dev.mem(), n);
+ *   ... host-initialize a.hostAt(i) ...
+ *   LaunchResult r = dev.launch({grid, block}, [&](ThreadCtx &t) {
+ *       ... kernel body against the ThreadCtx API ...
+ *   });
+ *   // r.cycles is the modelled kernel time
+ * @endcode
+ *
+ * When an NvmCache is attached, all observed traffic maintains
+ * persistency state and an armed crash injection aborts the grid
+ * mid-flight (LaunchResult::crashed).
+ */
+
+#ifndef GPULP_SIM_DEVICE_H
+#define GPULP_SIM_DEVICE_H
+
+#include <functional>
+#include <memory>
+
+#include "fiber/fiber.h"
+#include "mem/memory.h"
+#include "mem/timing.h"
+#include "nvm/nvm_cache.h"
+#include "sim/exec.h"
+#include "sim/types.h"
+
+namespace gpulp {
+
+/** Kernel body type: invoked once per simulated thread. */
+using KernelFn = std::function<void(ThreadCtx &)>;
+
+/** Construction parameters for a Device. */
+struct DeviceParams {
+    size_t arena_bytes = 256 * 1024 * 1024; //!< global-memory capacity
+    size_t shared_bytes = 96 * 1024;        //!< shared memory per block
+    size_t fiber_stack_bytes = 64 * 1024;   //!< stack per simulated thread
+    TimingParams timing;                    //!< timing model parameters
+};
+
+/** Outcome of one kernel launch. */
+struct LaunchResult {
+    Cycles cycles = 0;          //!< modelled kernel time
+    Cycles critical_path = 0;   //!< slowest-SM completion cycle
+    Cycles bandwidth_cycles = 0;//!< roofline time for the DRAM traffic
+    bool crashed = false;       //!< true if an injected crash fired
+    uint64_t blocks_completed = 0;
+    MemTrafficStats traffic;    //!< traffic accumulated by this launch
+};
+
+/**
+ * A simulated GPU. Single-threaded; blocks execute functionally in
+ * rank order while the timing model accounts for their parallel
+ * schedule across SMs.
+ */
+class Device
+{
+  public:
+    explicit Device(DeviceParams params = DeviceParams{});
+
+    /** Global memory arena. */
+    GlobalMemory &mem() { return mem_; }
+
+    /** Timing model (reset at every launch). */
+    MemTiming &timing() { return timing_; }
+
+    /** Parameters this device was built with. */
+    const DeviceParams &params() const { return params_; }
+
+    /**
+     * Attach an NVM persistency model: it becomes the memory observer
+     * and its crash injection is honoured by kernel threads. Pass
+     * nullptr to detach.
+     */
+    void attachNvm(NvmCache *nvm);
+
+    /** Attached NVM model, or nullptr. */
+    NvmCache *nvm() { return nvm_; }
+
+    /**
+     * Run a kernel over the whole grid.
+     *
+     * Functional semantics: thread blocks run in rank order, threads
+     * within a block interleave at collectives. Timing: blocks are
+     * greedily scheduled onto params().timing.num_sms SMs; the launch
+     * time is the later of the slowest SM and the bandwidth roofline.
+     *
+     * If the attached NVM model's injected crash fires, scheduling
+     * stops, the partially-executed grid's volatile state remains in
+     * memory (callers then invoke NvmCache::crash() to rewind to the
+     * persisted image) and the result has crashed == true.
+     */
+    LaunchResult launch(const LaunchConfig &cfg, const KernelFn &kernel);
+
+    /** Total kernel launches performed (for tests/stats). */
+    uint64_t launchCount() const { return launch_count_; }
+
+  private:
+    /**
+     * Run one thread block to completion (or crash) on fibers.
+     *
+     * @param cfg Launch configuration.
+     * @param block_idx Index of the block in the grid.
+     * @param start Cycle at which the block's SM became free.
+     * @param kernel The kernel body.
+     * @param crashed Out: set when the block aborted on injected crash.
+     * @return Block completion cycle (max over its threads).
+     */
+    Cycles runBlock(const LaunchConfig &cfg, Dim3 block_idx, Cycles start,
+                    const KernelFn &kernel, bool *crashed);
+
+    DeviceParams params_;
+    GlobalMemory mem_;
+    MemTiming timing_;
+    NvmCache *nvm_ = nullptr;
+    StackPool stack_pool_;
+    uint64_t launch_count_ = 0;
+};
+
+} // namespace gpulp
+
+#endif // GPULP_SIM_DEVICE_H

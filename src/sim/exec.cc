@@ -1,0 +1,305 @@
+#include "exec.h"
+
+#include <algorithm>
+
+#include "common/floatbits.h"
+#include "fiber/fiber.h"
+
+namespace gpulp {
+
+// ---------------------------------------------------------------------
+// BlockState
+// ---------------------------------------------------------------------
+
+BlockState::BlockState(GlobalMemory &mem, MemTiming &timing, NvmCache *nvm,
+                       Dim3 block_idx, const LaunchConfig &cfg, Cycles start,
+                       size_t shared_bytes)
+    : mem_(mem), timing_(timing), nvm_(nvm), block_idx_(block_idx),
+      cfg_(cfg), start_(start), num_threads_(cfg.threadsPerBlock()),
+      num_warps_((num_threads_ + kWarpSize - 1) / kWarpSize),
+      live_(num_threads_), warps_(num_warps_), shared_(shared_bytes, 0)
+{
+    for (uint32_t w = 0; w < num_warps_; ++w) {
+        uint32_t lanes =
+            std::min(kWarpSize, num_threads_ - w * kWarpSize);
+        warps_[w].lanes = lanes;
+        warps_[w].live = lanes;
+    }
+}
+
+void
+BlockState::onThreadExit(ThreadCtx &thread)
+{
+    GPULP_ASSERT(!thread.exited_, "thread exited twice");
+    thread.exited_ = true;
+    GPULP_ASSERT(live_ > 0, "more exits than live threads");
+    --live_;
+    ++progress_;
+
+    WarpState &warp = warps_[thread.warpId()];
+    GPULP_ASSERT(warp.live > 0, "more lane exits than live lanes");
+    --warp.live;
+
+    // A departing thread may have been the last straggler a barrier or
+    // a warp collective was waiting for.
+    maybeReleaseBarrier();
+    maybeReleaseWarp(warp);
+}
+
+size_t
+BlockState::sharedSlot(uint32_t slot_id, size_t bytes)
+{
+    auto it = shared_slots_.find(slot_id);
+    if (it != shared_slots_.end())
+        return it->second;
+    size_t aligned = (shared_next_ + 15) & ~size_t{15};
+    GPULP_ASSERT(aligned + bytes <= shared_.size(),
+                 "shared memory exhausted: slot %u needs %zu bytes, "
+                 "%zu of %zu used",
+                 slot_id, bytes, shared_next_, shared_.size());
+    shared_next_ = aligned + bytes;
+    shared_slots_.emplace(slot_id, aligned);
+    return aligned;
+}
+
+void
+BlockState::maybeReleaseBarrier()
+{
+    if (bar_arrived_ == 0 || bar_arrived_ != live_)
+        return;
+    bar_release_cycle_ =
+        bar_max_arrival_ + timing_.params().barrier_cycles;
+    bar_arrived_ = 0;
+    bar_max_arrival_ = 0;
+    ++bar_generation_;
+    ++progress_;
+}
+
+void
+BlockState::maybeReleaseWarp(WarpState &w)
+{
+    if (w.arrived == 0 || w.arrived != w.live)
+        return;
+    // Snapshot per-lane results so the next collective may reuse buf
+    // before every lane has consumed this round.
+    for (uint32_t lane = 0; lane < w.lanes; ++lane) {
+        uint32_t src = lane + w.delta;
+        bool in_range = w.delta > 0 && src < kWarpSize &&
+                        (w.deposited & (1u << src));
+        w.result[lane] = in_range ? w.buf[src] : w.buf[lane];
+    }
+    w.release_cycle = w.max_arrival + timing_.params().shuffle_cycles;
+    w.arrived = 0;
+    w.max_arrival = 0;
+    w.deposited = 0;
+    ++w.generation;
+    ++progress_;
+}
+
+// ---------------------------------------------------------------------
+// ThreadCtx
+// ---------------------------------------------------------------------
+
+ThreadCtx::ThreadCtx(BlockState &block, Dim3 thread_idx, uint32_t flat_tid)
+    : block_(block), thread_idx_(thread_idx), flat_tid_(flat_tid),
+      cycles_(block.start_)
+{
+}
+
+uint32_t
+ThreadCtx::atomicCAS(Addr addr, uint32_t compare, uint32_t value)
+{
+    return rmw32(addr,
+                 [&](uint32_t old) { return old == compare ? value : old; });
+}
+
+uint64_t
+ThreadCtx::atomicCAS64(Addr addr, uint64_t compare, uint64_t value)
+{
+    block_.checkCrash();
+    uint64_t old = block_.mem_.read<uint64_t>(addr);
+    if (old == compare)
+        block_.mem_.write<uint64_t>(addr, value);
+    cycles_ = block_.timing_.onAtomic(addr, cycles_);
+    return old;
+}
+
+uint32_t
+ThreadCtx::atomicExch(Addr addr, uint32_t value)
+{
+    return rmw32(addr, [&](uint32_t) { return value; });
+}
+
+uint64_t
+ThreadCtx::atomicExch64(Addr addr, uint64_t value)
+{
+    block_.checkCrash();
+    uint64_t old = block_.mem_.read<uint64_t>(addr);
+    block_.mem_.write<uint64_t>(addr, value);
+    cycles_ = block_.timing_.onAtomic(addr, cycles_);
+    return old;
+}
+
+uint32_t
+ThreadCtx::atomicAdd(Addr addr, uint32_t delta)
+{
+    return rmw32(addr, [&](uint32_t old) { return old + delta; });
+}
+
+float
+ThreadCtx::atomicAddF(Addr addr, float delta)
+{
+    block_.checkCrash();
+    float old = block_.mem_.read<float>(addr);
+    block_.mem_.write<float>(addr, old + delta);
+    cycles_ = block_.timing_.onAtomic(addr, cycles_);
+    return old;
+}
+
+uint32_t
+ThreadCtx::atomicMax(Addr addr, uint32_t value)
+{
+    return rmw32(addr,
+                 [&](uint32_t old) { return std::max(old, value); });
+}
+
+void
+ThreadCtx::clwb(Addr addr)
+{
+    block_.checkCrash();
+    const TimingParams &p = block_.timing_.params();
+    cycles_ += p.clwb_issue_cycles;
+    // The write-back itself consumes NVM write bandwidth.
+    block_.timing_.onGlobalStore(0);
+    if (block_.nvm_)
+        block_.nvm_->flushRange(addr, 1);
+    ++outstanding_flushes_;
+}
+
+void
+ThreadCtx::persistBarrier()
+{
+    block_.checkCrash();
+    const TimingParams &p = block_.timing_.params();
+    if (outstanding_flushes_ > 0) {
+        cycles_ += p.persist_latency_cycles +
+                   static_cast<Cycles>(outstanding_flushes_ - 1) *
+                       p.persist_overlap_gap_cycles;
+        outstanding_flushes_ = 0;
+    } else {
+        cycles_ += p.clwb_issue_cycles;
+    }
+}
+
+void
+ThreadCtx::lockAcquire(Addr addr)
+{
+    block_.checkCrash();
+    // Functionally the lock is always free (blocks run one at a time on
+    // the host); the *queueing delay* of contenders is modelled by the
+    // per-address serialization window, which lockRelease() extends to
+    // cover the whole critical section.
+    block_.mem_.write<uint32_t>(addr, 1);
+    Cycles issued = cycles_;
+    Cycles done = block_.timing_.onAtomic(addr, cycles_);
+    const TimingParams &p = block_.timing_.params();
+    done += p.lock_handoff_cycles;
+    // Convoy effect: the backlog this acquirer sat in measures how many
+    // warps are spinning on the lock line; their traffic slows the
+    // handoff itself (see TimingParams::lock_spin_shift).
+    Cycles wait = done - issued;
+    Cycles spin_penalty = std::min<Cycles>(wait >> p.lock_spin_shift,
+                                           p.lock_spin_cap_cycles);
+    done += spin_penalty;
+    cycles_ = done;
+    // Nobody else can take the lock while the handoff is in flight.
+    block_.timing_.holdAddressUntil(addr, done);
+}
+
+void
+ThreadCtx::lockRelease(Addr addr)
+{
+    block_.checkCrash();
+    block_.mem_.write<uint32_t>(addr, 0);
+    cycles_ += block_.timing_.params().global_issue_cycles;
+    block_.timing_.holdAddressUntil(addr, cycles_);
+}
+
+void
+ThreadCtx::syncthreads()
+{
+    BlockState &b = block_;
+    b.checkCrash();
+    uint64_t gen = b.bar_generation_;
+    b.bar_max_arrival_ = std::max(b.bar_max_arrival_, cycles_);
+    ++b.bar_arrived_;
+    ++b.progress_;
+    b.maybeReleaseBarrier();
+    while (b.bar_generation_ == gen) {
+        b.checkCrash();
+        Fiber::yield();
+    }
+    cycles_ = b.bar_release_cycle_;
+}
+
+uint64_t
+ThreadCtx::shflDownRaw(uint64_t value, uint32_t delta)
+{
+    BlockState &b = block_;
+    b.checkCrash();
+    WarpState &w = b.warps_[warpId()];
+    uint32_t lane = laneId();
+    uint64_t gen = w.generation;
+
+    if (w.arrived == 0)
+        w.delta = delta;
+    else
+        GPULP_ASSERT(w.delta == delta,
+                     "divergent shuffle deltas within a warp (%u vs %u)",
+                     w.delta, delta);
+    GPULP_ASSERT((w.deposited & (1u << lane)) == 0,
+                 "lane %u deposited twice in one shuffle round", lane);
+
+    w.buf[lane] = value;
+    w.deposited |= 1u << lane;
+    w.max_arrival = std::max(w.max_arrival, cycles_);
+    ++w.arrived;
+    ++b.progress_;
+    b.maybeReleaseWarp(w);
+    while (w.generation == gen) {
+        b.checkCrash();
+        Fiber::yield();
+    }
+    cycles_ = w.release_cycle;
+    return w.result[lane];
+}
+
+uint32_t
+ThreadCtx::shflDown(uint32_t value, uint32_t delta)
+{
+    return static_cast<uint32_t>(shflDownRaw(value, delta));
+}
+
+int32_t
+ThreadCtx::shflDownI(int32_t value, uint32_t delta)
+{
+    return static_cast<int32_t>(
+        static_cast<uint32_t>(shflDownRaw(
+            static_cast<uint32_t>(value), delta)));
+}
+
+float
+ThreadCtx::shflDownF(float value, uint32_t delta)
+{
+    uint64_t bits = floatToOrderedInt(value);
+    return orderedIntToFloat(
+        static_cast<uint32_t>(shflDownRaw(bits, delta)));
+}
+
+uint64_t
+ThreadCtx::shflDown64(uint64_t value, uint32_t delta)
+{
+    return shflDownRaw(value, delta);
+}
+
+} // namespace gpulp

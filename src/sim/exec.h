@@ -1,0 +1,460 @@
+/**
+ * @file
+ * SIMT execution state: per-warp collective state, per-block state
+ * (barrier, shared memory) and the ThreadCtx device API that kernels
+ * program against.
+ *
+ * Execution model: every thread of a block runs on its own fiber; the
+ * block runner resumes fibers round-robin. Fibers suspend only inside
+ * collectives (__syncthreads, warp shuffles), which is where control
+ * interleaves — the same points where SIMT hardware requires
+ * convergence. All other device operations are non-blocking and charge
+ * the thread's cycle counter.
+ *
+ * Timing: each thread carries an absolute cycle counter (its block's
+ * start cycle plus its own progress). Collectives align counters to
+ * the max participant; atomics serialize through MemTiming's
+ * per-address table; loads/stores accumulate roofline traffic.
+ */
+
+#ifndef GPULP_SIM_EXEC_H
+#define GPULP_SIM_EXEC_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/memory.h"
+#include "mem/timing.h"
+#include "nvm/nvm_cache.h"
+#include "sim/types.h"
+
+namespace gpulp {
+
+class ThreadCtx;
+
+/** Collective-exchange state for one warp. */
+struct WarpState {
+    uint32_t lanes = 0;          //!< lanes this warp started with
+    uint32_t live = 0;           //!< lanes that have not exited
+    uint32_t arrived = 0;        //!< lanes at the current collective
+    uint64_t generation = 0;     //!< bumps when a collective releases
+    Cycles max_arrival = 0;      //!< latest arrival cycle this round
+    Cycles release_cycle = 0;    //!< cycle at which the round released
+    uint32_t delta = 0;          //!< shuffle offset this round
+    uint32_t deposited = 0;      //!< bitmask of lanes that deposited
+    std::array<uint64_t, kWarpSize> buf{};    //!< deposited lane values
+    std::array<uint64_t, kWarpSize> result{}; //!< per-lane results
+};
+
+/**
+ * Per-thread-block execution state shared by the block's ThreadCtx
+ * instances: the barrier, warp collective slots, shared memory and
+ * progress/deadlock accounting.
+ */
+class BlockState
+{
+  public:
+    /**
+     * @param mem Device global memory (for crash-state queries only).
+     * @param timing Timing model shared by the launch.
+     * @param nvm NVM model, or nullptr when persistency is not modelled.
+     * @param block_idx This block's index in the grid.
+     * @param cfg The launch configuration.
+     * @param start Absolute cycle at which this block's SM started it.
+     * @param shared_bytes Shared-memory capacity for the block.
+     */
+    BlockState(GlobalMemory &mem, MemTiming &timing, NvmCache *nvm,
+               Dim3 block_idx, const LaunchConfig &cfg, Cycles start,
+               size_t shared_bytes);
+
+    BlockState(const BlockState &) = delete;
+    BlockState &operator=(const BlockState &) = delete;
+
+    /** Number of threads in the block. */
+    uint32_t numThreads() const { return num_threads_; }
+
+    /** Number of warps in the block. */
+    uint32_t numWarps() const { return num_warps_; }
+
+    /** Threads that have not yet returned from the kernel. */
+    uint32_t liveThreads() const { return live_; }
+
+    /** Monotonic event counter used for deadlock detection. */
+    uint64_t progress() const { return progress_; }
+
+    /** Called by the runner when a thread's fiber finishes. */
+    void onThreadExit(ThreadCtx &thread);
+
+    /**
+     * Resolve or allocate the shared-memory slot @p slot_id of
+     * @p bytes bytes, returning its offset in the block's shared arena.
+     * All threads naming the same slot get the same storage, mirroring
+     * a __shared__ array declaration.
+     */
+    size_t sharedSlot(uint32_t slot_id, size_t bytes);
+
+    /** Raw pointer into the shared arena. */
+    char *sharedRaw(size_t offset) { return shared_.data() + offset; }
+
+  private:
+    friend class ThreadCtx;
+    friend class BlockRunner;
+
+    /** Throw SimCrash if the NVM model has a pending injected crash. */
+    void
+    checkCrash() const
+    {
+        if (nvm_ && nvm_->crashPending())
+            throw SimCrash{};
+    }
+
+    /** Release the block barrier if all live threads arrived. */
+    void maybeReleaseBarrier();
+
+    /** Release warp @p w's collective if all its live lanes arrived. */
+    void maybeReleaseWarp(WarpState &w);
+
+    GlobalMemory &mem_;
+    MemTiming &timing_;
+    NvmCache *nvm_;
+    Dim3 block_idx_;
+    LaunchConfig cfg_;
+    Cycles start_;
+
+    uint32_t num_threads_;
+    uint32_t num_warps_;
+    uint32_t live_;
+
+    // Block-wide barrier (generation scheme).
+    uint32_t bar_arrived_ = 0;
+    uint64_t bar_generation_ = 0;
+    Cycles bar_max_arrival_ = 0;
+    Cycles bar_release_cycle_ = 0;
+
+    std::vector<WarpState> warps_;
+
+    std::vector<char> shared_;
+    size_t shared_next_ = 0;
+    std::unordered_map<uint32_t, size_t> shared_slots_;
+
+    uint64_t progress_ = 0;
+};
+
+/**
+ * Typed view over a block's shared-memory slot; accesses charge
+ * shared-memory cycles on the owning thread.
+ */
+template <typename T>
+class SharedRef
+{
+  public:
+    SharedRef() = default;
+    SharedRef(ThreadCtx *thread, T *data, size_t count)
+        : thread_(thread), data_(data), count_(count)
+    {
+    }
+
+    /** Number of elements. */
+    size_t size() const { return count_; }
+
+    /** Timed shared-memory load. */
+    inline T get(size_t index) const;
+
+    /** Timed shared-memory store. */
+    inline void set(size_t index, T value);
+
+    /** Timed shared-memory atomic add; returns the old value. */
+    inline T atomicAdd(size_t index, T delta);
+
+  private:
+    ThreadCtx *thread_ = nullptr;
+    T *data_ = nullptr;
+    size_t count_ = 0;
+};
+
+/**
+ * The device API visible to kernel code — the simulator's analogue of
+ * the CUDA intrinsics used by the paper's kernels.
+ */
+class ThreadCtx
+{
+  public:
+    ThreadCtx(BlockState &block, Dim3 thread_idx, uint32_t flat_tid);
+
+    // Identity ---------------------------------------------------------------
+
+    /** threadIdx. */
+    const Dim3 &threadIdx() const { return thread_idx_; }
+
+    /** blockIdx. */
+    const Dim3 &blockIdx() const { return block_.block_idx_; }
+
+    /** blockDim. */
+    const Dim3 &blockDim() const { return block_.cfg_.block; }
+
+    /** gridDim. */
+    const Dim3 &gridDim() const { return block_.cfg_.grid; }
+
+    /** Flat thread index within the block (x fastest). */
+    uint32_t flatThreadIdx() const { return flat_tid_; }
+
+    /** Lane index within the warp [0, 32). */
+    uint32_t laneId() const { return flat_tid_ % kWarpSize; }
+
+    /** Warp index within the block. */
+    uint32_t warpId() const { return flat_tid_ / kWarpSize; }
+
+    /** Flat block rank within the grid (x fastest). */
+    uint64_t
+    blockRank() const
+    {
+        const Dim3 &b = block_.block_idx_;
+        const Dim3 &g = block_.cfg_.grid;
+        return (static_cast<uint64_t>(b.z) * g.y + b.y) * g.x + b.x;
+    }
+
+    /** Flat global thread id. */
+    uint64_t
+    globalThreadIdx() const
+    {
+        return blockRank() * block_.num_threads_ + flat_tid_;
+    }
+
+    // Timing -----------------------------------------------------------------
+
+    /** Charge @p ops scalar ALU operations. */
+    void
+    compute(uint64_t ops)
+    {
+        cycles_ += ops * block_.timing_.params().compute_cycles;
+    }
+
+    /** Stall this thread for @p cycles raw cycles (dependent latency). */
+    void stall(Cycles cycles) { cycles_ += cycles; }
+
+    /** This thread's absolute cycle counter. */
+    Cycles now() const { return cycles_; }
+
+    /** Timing parameters of the launch. */
+    const TimingParams &
+    params() const
+    {
+        return block_.timing_.params();
+    }
+
+    /** Number of warps in this block. */
+    uint32_t numWarps() const { return block_.num_warps_; }
+
+    /** Lanes of this thread's warp that have not exited the kernel. */
+    uint32_t
+    warpLiveLanes() const
+    {
+        return block_.warps_[warpId()].live;
+    }
+
+    // Global memory ----------------------------------------------------------
+
+    /** Timed, observed global load at a raw device address. */
+    template <typename T>
+    T
+    loadAddr(Addr addr)
+    {
+        block_.checkCrash();
+        cycles_ += block_.timing_.onGlobalLoad(sizeof(T));
+        return block_.mem_.read<T>(addr);
+    }
+
+    /** Timed, observed global store at a raw device address. */
+    template <typename T>
+    void
+    storeAddr(Addr addr, T value)
+    {
+        block_.checkCrash();
+        cycles_ += block_.timing_.onGlobalStore(sizeof(T));
+        block_.mem_.write<T>(addr, value);
+    }
+
+    /** Timed, observed element load through an ArrayRef. */
+    template <typename T>
+    T
+    load(const ArrayRef<T> &array, size_t index)
+    {
+        return loadAddr<T>(array.addrOf(index));
+    }
+
+    /** Timed, observed element store through an ArrayRef. */
+    template <typename T>
+    void
+    store(ArrayRef<T> &array, size_t index, T value)
+    {
+        storeAddr<T>(array.addrOf(index), value);
+    }
+
+    // Atomics ----------------------------------------------------------------
+
+    /**
+     * atomicCAS on a 32-bit word: if *addr == compare, *addr = value.
+     * Serializes on the address. @return the old value.
+     */
+    uint32_t atomicCAS(Addr addr, uint32_t compare, uint32_t value);
+
+    /** atomicCAS on a 64-bit word. */
+    uint64_t atomicCAS64(Addr addr, uint64_t compare, uint64_t value);
+
+    /** atomicExch on a 32-bit word; returns the old value. */
+    uint32_t atomicExch(Addr addr, uint32_t value);
+
+    /** atomicExch on a 64-bit word; returns the old value. */
+    uint64_t atomicExch64(Addr addr, uint64_t value);
+
+    /** atomicAdd on a 32-bit word; returns the old value. */
+    uint32_t atomicAdd(Addr addr, uint32_t delta);
+
+    /** atomicAdd on a float; returns the old value. */
+    float atomicAddF(Addr addr, float delta);
+
+    /** atomicMax on a 32-bit word; returns the old value. */
+    uint32_t atomicMax(Addr addr, uint32_t value);
+
+    /**
+     * Write back (without evicting) the cache line holding @p addr —
+     * CUDA has no clwb today (the paper notes EP is not implementable
+     * on current GPUs); this models the instruction EP would need.
+     * The write-back completes asynchronously; persistBarrier() waits.
+     */
+    void clwb(Addr addr);
+
+    /**
+     * Persist barrier (sfence): stall until every clwb this thread
+     * issued has reached the NVM device.
+     */
+    void persistBarrier();
+
+    /**
+     * Spin-lock acquire on a lock word, with the queueing delay of all
+     * earlier contenders charged to this thread. Pair with
+     * lockRelease() — the release extends the word's serialization
+     * window so entire critical sections serialize across blocks.
+     */
+    void lockAcquire(Addr addr);
+
+    /** Spin-lock release; see lockAcquire(). */
+    void lockRelease(Addr addr);
+
+    // Shared memory ----------------------------------------------------------
+
+    /**
+     * Resolve the block-level shared array for @p slot_id (a stable
+     * small integer naming the __shared__ declaration) of @p count
+     * elements. Every thread of the block naming the same slot sees
+     * the same storage.
+     */
+    template <typename T>
+    SharedRef<T>
+    sharedArray(uint32_t slot_id, size_t count)
+    {
+        size_t off = block_.sharedSlot(slot_id, count * sizeof(T));
+        return SharedRef<T>(this,
+                            reinterpret_cast<T *>(block_.sharedRaw(off)),
+                            count);
+    }
+
+    // Collectives ------------------------------------------------------------
+
+    /** __syncthreads(): block-wide barrier; aligns cycle counters. */
+    void syncthreads();
+
+    /**
+     * __shfl_down_sync over the full warp: returns the value deposited
+     * by lane (laneId()+delta), or this thread's own @p value when that
+     * lane is out of range. All live lanes of the warp must call it.
+     */
+    uint32_t shflDown(uint32_t value, uint32_t delta);
+
+    /** shflDown for signed int. */
+    int32_t shflDownI(int32_t value, uint32_t delta);
+
+    /** shflDown for float. */
+    float shflDownF(float value, uint32_t delta);
+
+    /** shflDown for uint64_t. */
+    uint64_t shflDown64(uint64_t value, uint32_t delta);
+
+  private:
+    friend class BlockState;
+    friend class BlockRunner;
+    template <typename U>
+    friend class SharedRef;
+
+    /** Common implementation for all shuffle widths (64-bit payload). */
+    uint64_t shflDownRaw(uint64_t value, uint32_t delta);
+
+    /** Timing parameters of the launch (for SharedRef's charges). */
+    const TimingParams &
+    timingParams() const
+    {
+        return block_.timing_.params();
+    }
+
+    /** Functional+timed read-modify-write helper for 32-bit atomics. */
+    template <typename Op>
+    uint32_t
+    rmw32(Addr addr, Op &&op)
+    {
+        block_.checkCrash();
+        uint32_t old = block_.mem_.read<uint32_t>(addr);
+        uint32_t next = op(old);
+        if (next != old)
+            block_.mem_.write<uint32_t>(addr, next);
+        cycles_ = block_.timing_.onAtomic(addr, cycles_);
+        return old;
+    }
+
+    BlockState &block_;
+    Dim3 thread_idx_;
+    uint32_t flat_tid_;
+    Cycles cycles_;
+    uint32_t outstanding_flushes_ = 0;
+    bool exited_ = false;
+};
+
+template <typename T>
+inline T
+SharedRef<T>::get(size_t index) const
+{
+    GPULP_ASSERT(index < count_, "shared load index %zu out of %zu", index,
+                 count_);
+    thread_->cycles_ += thread_->timingParams().shared_access_cycles;
+    return data_[index];
+}
+
+template <typename T>
+inline void
+SharedRef<T>::set(size_t index, T value)
+{
+    GPULP_ASSERT(index < count_, "shared store index %zu out of %zu", index,
+                 count_);
+    thread_->cycles_ += thread_->timingParams().shared_access_cycles;
+    data_[index] = value;
+}
+
+template <typename T>
+inline T
+SharedRef<T>::atomicAdd(size_t index, T delta)
+{
+    GPULP_ASSERT(index < count_, "shared atomic index %zu out of %zu", index,
+                 count_);
+    // Shared atomics are fast and bank-arbitrated; charge a small
+    // constant on top of the access itself.
+    thread_->cycles_ += thread_->timingParams().shared_access_cycles + 2;
+    T old = data_[index];
+    data_[index] = old + delta;
+    return old;
+}
+
+} // namespace gpulp
+
+#endif // GPULP_SIM_EXEC_H

@@ -1,0 +1,207 @@
+#include "megakv.h"
+
+#include "core/checksum_store.h" // mixHash
+
+namespace gpulp {
+
+MegaKv::MegaKv(Device &dev, uint32_t buckets, uint32_t batch_ops)
+    : dev_(dev), buckets_(buckets), batch_ops_(batch_ops)
+{
+    GPULP_ASSERT(buckets_ > 0, "need at least one bucket");
+    GPULP_ASSERT(batch_ops_ % kThreads == 0,
+                 "batch size must be a multiple of %u", kThreads);
+    keys_ = ArrayRef<uint32_t>::allocate(dev.mem(),
+                                         uint64_t{buckets_} * kWays);
+    values_ = ArrayRef<uint32_t>::allocate(dev.mem(),
+                                           uint64_t{buckets_} * kWays);
+    op_keys_ = ArrayRef<uint32_t>::allocate(dev.mem(), batch_ops_);
+    op_values_ = ArrayRef<uint32_t>::allocate(dev.mem(), batch_ops_);
+    results_ = ArrayRef<uint32_t>::allocate(dev.mem(), batch_ops_);
+}
+
+LaunchConfig
+MegaKv::launchConfig() const
+{
+    return LaunchConfig(Dim3(batch_ops_ / kThreads), Dim3(kThreads));
+}
+
+uint32_t
+MegaKv::bucketOf(uint32_t key) const
+{
+    return mixHash(key, 0x6b76u) % buckets_;
+}
+
+void
+MegaKv::stageInserts(const std::vector<std::pair<uint32_t, uint32_t>> &kv)
+{
+    GPULP_ASSERT(kv.size() == batch_ops_, "batch must have %u ops",
+                 batch_ops_);
+    for (uint32_t i = 0; i < batch_ops_; ++i) {
+        GPULP_ASSERT(kv[i].first != 0, "keys must be nonzero");
+        op_keys_.hostAt(i) = kv[i].first;
+        op_values_.hostAt(i) = kv[i].second;
+    }
+}
+
+void
+MegaKv::stageKeys(const std::vector<uint32_t> &keys)
+{
+    GPULP_ASSERT(keys.size() == batch_ops_, "batch must have %u ops",
+                 batch_ops_);
+    for (uint32_t i = 0; i < batch_ops_; ++i)
+        op_keys_.hostAt(i) = keys[i];
+}
+
+void
+MegaKv::insertKernel(ThreadCtx &t, const LpContext *lp)
+{
+    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+
+    const uint32_t op = static_cast<uint32_t>(t.globalThreadIdx());
+    uint32_t key = t.load(op_keys_, op);
+    uint32_t value = t.load(op_values_, op);
+    uint32_t bucket = bucketOf(key);
+    t.compute(kChargeInsert);
+
+    for (uint32_t way = 0; way < kWays; ++way) {
+        uint64_t slot = uint64_t{bucket} * kWays + way;
+        uint32_t cur = t.load(keys_, slot);
+        if (cur == key) {
+            t.store(values_, slot, value); // update in place
+            break;
+        }
+        if (cur == 0) {
+            uint32_t old = t.atomicCAS(keys_.addrOf(slot), 0, key);
+            if (old == 0 || old == key) {
+                t.store(values_, slot, value);
+                break;
+            }
+            // Slot raced away; keep scanning this bucket.
+        }
+    }
+    if (lp) {
+        acc.protectU32(t, key);
+        acc.protectU32(t, value);
+        lpCommitRegion(t, *lp, acc);
+    }
+}
+
+void
+MegaKv::searchKernel(ThreadCtx &t, const LpContext *lp)
+{
+    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+
+    const uint32_t op = static_cast<uint32_t>(t.globalThreadIdx());
+    uint32_t key = t.load(op_keys_, op);
+    uint32_t bucket = bucketOf(key);
+    t.compute(kChargeSearch);
+
+    uint32_t found = 0;
+    for (uint32_t way = 0; way < kWays; ++way) {
+        uint64_t slot = uint64_t{bucket} * kWays + way;
+        if (t.load(keys_, slot) == key) {
+            found = t.load(values_, slot);
+            break;
+        }
+    }
+    t.store(results_, op, found);
+    if (lp) {
+        acc.protectU32(t, found);
+        lpCommitRegion(t, *lp, acc);
+    }
+}
+
+void
+MegaKv::eraseKernel(ThreadCtx &t, const LpContext *lp)
+{
+    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+
+    const uint32_t op = static_cast<uint32_t>(t.globalThreadIdx());
+    uint32_t key = t.load(op_keys_, op);
+    uint32_t bucket = bucketOf(key);
+    t.compute(kChargeErase);
+
+    for (uint32_t way = 0; way < kWays; ++way) {
+        uint64_t slot = uint64_t{bucket} * kWays + way;
+        if (t.load(keys_, slot) == key) {
+            t.store(keys_, slot, 0u);
+            t.store(values_, slot, 0u);
+            break;
+        }
+    }
+    if (lp) {
+        // Fold the key and its post-erase presence (0 == absent).
+        acc.protectU32(t, key);
+        acc.protectU32(t, 0u);
+        lpCommitRegion(t, *lp, acc);
+    }
+}
+
+void
+MegaKv::validateInserts(ThreadCtx &t, const LpContext &lp,
+                        RecoverySet &failed)
+{
+    ChecksumAccum acc(lp.cfg->checksum);
+    const uint32_t op = static_cast<uint32_t>(t.globalThreadIdx());
+    uint32_t key = t.load(op_keys_, op);
+    uint32_t bucket = bucketOf(key);
+    uint32_t found = 0;
+    for (uint32_t way = 0; way < kWays; ++way) {
+        uint64_t slot = uint64_t{bucket} * kWays + way;
+        if (t.load(keys_, slot) == key) {
+            found = t.load(values_, slot);
+            break;
+        }
+    }
+    acc.protectU32(t, key);
+    acc.protectU32(t, found);
+    bool ok = lpValidateRegion(t, lp, acc);
+    if (t.flatThreadIdx() == 0 && !ok)
+        failed.markFailed(t, t.blockRank());
+}
+
+void
+MegaKv::validateErases(ThreadCtx &t, const LpContext &lp,
+                       RecoverySet &failed)
+{
+    ChecksumAccum acc(lp.cfg->checksum);
+    const uint32_t op = static_cast<uint32_t>(t.globalThreadIdx());
+    uint32_t key = t.load(op_keys_, op);
+    uint32_t bucket = bucketOf(key);
+    uint32_t present = 0;
+    for (uint32_t way = 0; way < kWays; ++way) {
+        uint64_t slot = uint64_t{bucket} * kWays + way;
+        if (t.load(keys_, slot) == key) {
+            present = 1;
+            break;
+        }
+    }
+    acc.protectU32(t, key);
+    acc.protectU32(t, present);
+    bool ok = lpValidateRegion(t, lp, acc);
+    if (t.flatThreadIdx() == 0 && !ok)
+        failed.markFailed(t, t.blockRank());
+}
+
+bool
+MegaKv::hostLookup(uint32_t key, uint32_t *value) const
+{
+    uint32_t bucket = bucketOf(key);
+    for (uint32_t way = 0; way < kWays; ++way) {
+        uint64_t slot = uint64_t{bucket} * kWays + way;
+        if (keys_.hostAt(slot) == key) {
+            if (value)
+                *value = values_.hostAt(slot);
+            return true;
+        }
+    }
+    return false;
+}
+
+uint64_t
+MegaKv::tableBytes() const
+{
+    return (keys_.size() + values_.size()) * sizeof(uint32_t);
+}
+
+} // namespace gpulp

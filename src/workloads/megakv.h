@@ -1,0 +1,113 @@
+/**
+ * @file
+ * MEGA-KV — GPU in-memory key-value store (Zhang et al. [12]),
+ * the paper's real-world application study (Sec. VII-4).
+ *
+ * A bucketized open-addressing hash table lives in device memory;
+ * batches of 16K operations (the paper's batch size) are executed by
+ * one GPU kernel per operation type:
+ *
+ *  - insert: claim a slot in the key's bucket with atomicCAS, store the
+ *    value. Idempotent, so an LP region (= thread block) can simply be
+ *    re-executed on recovery.
+ *  - search: probe the bucket, write the found value (or 0) to the
+ *    result array — the persistent output LP protects.
+ *  - erase: locate the key and clear the slot. Also idempotent.
+ *
+ * With LP enabled, each block folds the key/value pairs it made durable
+ * into the region checksum and commits at the end; validation kernels
+ * recompute the same folds from the table state found in memory.
+ *
+ * kCharge* constants stand in for the full MEGA-KV per-op cost
+ * (protocol parsing, variable-size value copies) that our scaled table
+ * does not perform functionally.
+ */
+
+#ifndef GPULP_WORKLOADS_MEGAKV_H
+#define GPULP_WORKLOADS_MEGAKV_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/recovery.h"
+#include "core/runtime.h"
+#include "sim/device.h"
+
+namespace gpulp {
+
+/** Batched GPU key-value store with LP-protected mutation kernels. */
+class MegaKv
+{
+  public:
+    static constexpr uint32_t kWays = 8;
+    static constexpr uint32_t kThreads = 128;
+    static constexpr uint32_t kChargeInsert = 5800;
+    static constexpr uint32_t kChargeSearch = 3400;
+    static constexpr uint32_t kChargeErase = 2200;
+
+    /**
+     * @param dev Device hosting the table.
+     * @param buckets Bucket count (kWays slots each).
+     * @param batch_ops Operations per batch (paper: 16384).
+     */
+    MegaKv(Device &dev, uint32_t buckets = 4096,
+           uint32_t batch_ops = 16384);
+
+    /** Launch configuration used by every batch kernel. */
+    LaunchConfig launchConfig() const;
+
+    /** Number of operations per batch. */
+    uint32_t batchOps() const { return batch_ops_; }
+
+    /**
+     * Stage a batch of (key, value) pairs host-side. Keys must be
+     * nonzero. Used for insert batches.
+     */
+    void stageInserts(const std::vector<std::pair<uint32_t, uint32_t>> &kv);
+
+    /** Stage a batch of keys for search or erase. */
+    void stageKeys(const std::vector<uint32_t> &keys);
+
+    /** Insert kernel body; pass lp == nullptr for the baseline. */
+    void insertKernel(ThreadCtx &t, const LpContext *lp);
+
+    /** Search kernel body; results land in the result array. */
+    void searchKernel(ThreadCtx &t, const LpContext *lp);
+
+    /** Erase kernel body. */
+    void eraseKernel(ThreadCtx &t, const LpContext *lp);
+
+    /** Validation body for a committed insert batch. */
+    void validateInserts(ThreadCtx &t, const LpContext &lp,
+                         RecoverySet &failed);
+
+    /** Validation body for a committed erase batch. */
+    void validateErases(ThreadCtx &t, const LpContext &lp,
+                        RecoverySet &failed);
+
+    /** Host-side lookup (verification). */
+    bool hostLookup(uint32_t key, uint32_t *value) const;
+
+    /** Host-side read of a search batch's result slot. */
+    uint32_t resultAt(uint32_t op) const { return results_.hostAt(op); }
+
+    /** Total persistent bytes of the table. */
+    uint64_t tableBytes() const;
+
+  private:
+    /** Bucket index of a key. */
+    uint32_t bucketOf(uint32_t key) const;
+
+    Device &dev_;
+    uint32_t buckets_;
+    uint32_t batch_ops_;
+    ArrayRef<uint32_t> keys_;    //!< buckets x kWays key slots (0 empty)
+    ArrayRef<uint32_t> values_;  //!< buckets x kWays value slots
+    ArrayRef<uint32_t> op_keys_;
+    ArrayRef<uint32_t> op_values_;
+    ArrayRef<uint32_t> results_;
+};
+
+} // namespace gpulp
+
+#endif // GPULP_WORKLOADS_MEGAKV_H

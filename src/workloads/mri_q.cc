@@ -1,0 +1,125 @@
+#include "mri_q.h"
+
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace gpulp {
+
+MriQWorkload::MriQWorkload(double scale)
+{
+    GPULP_ASSERT(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+    blocks_ = std::max<uint32_t>(
+        2, static_cast<uint32_t>(std::lround(1024.0 * scale)));
+    voxels_ = uint64_t{blocks_} * kThreads;
+}
+
+LaunchConfig
+MriQWorkload::launchConfig() const
+{
+    return LaunchConfig(Dim3(blocks_), Dim3(kThreads));
+}
+
+void
+MriQWorkload::setup(Device &dev)
+{
+    k_ = ArrayRef<float>::allocate(dev.mem(), kSamples);
+    phi_ = ArrayRef<float>::allocate(dev.mem(), kSamples);
+    qr_ = ArrayRef<float>::allocate(dev.mem(), voxels_);
+    qi_ = ArrayRef<float>::allocate(dev.mem(), voxels_);
+
+    Prng rng(0x6D71);
+    for (uint32_t s = 0; s < kSamples; ++s) {
+        k_.hostAt(s) = rng.nextFloat(-3.14f, 3.14f);
+        phi_.hostAt(s) = rng.nextFloat(0.1f, 1.0f);
+    }
+
+    ref_r_.assign(voxels_, 0.0f);
+    ref_i_.assign(voxels_, 0.0f);
+    for (uint64_t v = 0; v < voxels_; ++v) {
+        float x = static_cast<float>(v) * 0.001f;
+        float sum_r = 0.0f, sum_i = 0.0f;
+        for (uint32_t s = 0; s < kSamples; ++s) {
+            float arg = k_.hostAt(s) * x;
+            sum_r += phi_.hostAt(s) * std::cos(arg);
+            sum_i += phi_.hostAt(s) * std::sin(arg);
+        }
+        ref_r_[v] = sum_r;
+        ref_i_[v] = sum_i;
+    }
+}
+
+void
+MriQWorkload::kernel(ThreadCtx &t, const LpContext *lp)
+{
+    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+
+    // The trajectory is staged in shared memory once per block.
+    chargeBlockJitter(t, kJitterSpan);
+    auto sh_k = t.sharedArray<float>(0, kSamples);
+    auto sh_phi = t.sharedArray<float>(1, kSamples);
+    const uint32_t tid = t.flatThreadIdx();
+    for (uint32_t s = tid; s < kSamples; s += kThreads) {
+        sh_k.set(s, t.load(k_, s));
+        sh_phi.set(s, t.load(phi_, s));
+    }
+    t.syncthreads();
+
+    const uint64_t v = t.globalThreadIdx();
+    float x = static_cast<float>(v) * 0.001f;
+    float sum_r = 0.0f, sum_i = 0.0f;
+    for (uint32_t s = 0; s < kSamples; ++s) {
+        float arg = sh_k.get(s) * x;
+        sum_r += sh_phi.get(s) * std::cos(arg);
+        sum_i += sh_phi.get(s) * std::sin(arg);
+        t.compute(kChargePerSample);
+    }
+    t.store(qr_, v, sum_r);
+    t.store(qi_, v, sum_i);
+    if (lp) {
+        acc.protectFloat(t, sum_r);
+        acc.protectFloat(t, sum_i);
+        lpCommitRegion(t, *lp, acc);
+    }
+}
+
+void
+MriQWorkload::validation(ThreadCtx &t, const LpContext &lp,
+                         RecoverySet &failed)
+{
+    ChecksumAccum acc(lp.cfg->checksum);
+    acc.protectFloat(t, t.load(qr_, t.globalThreadIdx()));
+    acc.protectFloat(t, t.load(qi_, t.globalThreadIdx()));
+    bool ok = lpValidateRegion(t, lp, acc);
+    if (t.flatThreadIdx() == 0 && !ok)
+        failed.markFailed(t, t.blockRank());
+}
+
+bool
+MriQWorkload::verify(std::string *why) const
+{
+    for (uint64_t v = 0; v < voxels_; ++v) {
+        if (std::fabs(qr_.hostAt(v) - ref_r_[v]) > 1e-4f ||
+            std::fabs(qi_.hostAt(v) - ref_i_[v]) > 1e-4f) {
+            if (why) {
+                *why = detail::formatString(
+                    "q[%llu] = (%f, %f), want (%f, %f)",
+                    static_cast<unsigned long long>(v),
+                    static_cast<double>(qr_.hostAt(v)),
+                    static_cast<double>(qi_.hostAt(v)),
+                    static_cast<double>(ref_r_[v]),
+                    static_cast<double>(ref_i_[v]));
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+MriQWorkload::outputBytes() const
+{
+    return (qr_.size() + qi_.size()) * sizeof(float);
+}
+
+} // namespace gpulp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * MRI-Q — computation of the Q matrix for non-Cartesian MRI
+ * reconstruction (Parboil).
+ *
+ * Each thread computes one voxel's (Qr, Qi) pair by summing magnitude
+ * and phase contributions over the k-space sample trajectory. The
+ * paper launches 1024 blocks; we keep the grid with a reduced
+ * functional trajectory and charge the model for the full sample count
+ * via kChargePerSample. Instruction-throughput bound (sin/cos heavy).
+ */
+
+#ifndef GPULP_WORKLOADS_MRI_Q_H
+#define GPULP_WORKLOADS_MRI_Q_H
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace gpulp {
+
+/** Q-matrix computation: per-voxel trig accumulation over samples. */
+class MriQWorkload : public Workload
+{
+  public:
+    static constexpr uint32_t kThreads = 64;
+    static constexpr uint32_t kSamples = 24;
+    /** Charge per sample, standing in for the full trajectory. */
+    static constexpr uint32_t kChargePerSample = 240;
+    /** Per-block duration jitter span (~15% of block work). */
+    static constexpr uint32_t kJitterSpan = 800;
+
+    explicit MriQWorkload(double scale = 1.0);
+
+    const char *name() const override { return "mri-q"; }
+    const char *bottleneck() const override { return "Inst throughput"; }
+    LaunchConfig launchConfig() const override;
+    void setup(Device &dev) override;
+    void kernel(ThreadCtx &t, const LpContext *lp) override;
+    void validation(ThreadCtx &t, const LpContext &lp,
+                    RecoverySet &failed) override;
+    bool verify(std::string *why = nullptr) const override;
+    uint64_t outputBytes() const override;
+    double quadLoadFactor() const override { return 0.19; }
+    double cuckooLoadFactor() const override { return 0.10; }
+
+  private:
+    uint32_t blocks_;
+    uint64_t voxels_;
+    ArrayRef<float> k_;     //!< kSamples trajectory coordinates
+    ArrayRef<float> phi_;   //!< kSamples magnitudes
+    ArrayRef<float> qr_;    //!< real part per voxel
+    ArrayRef<float> qi_;    //!< imaginary part per voxel
+    std::vector<float> ref_r_;
+    std::vector<float> ref_i_;
+};
+
+} // namespace gpulp
+
+#endif // GPULP_WORKLOADS_MRI_Q_H

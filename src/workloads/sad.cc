@@ -1,0 +1,124 @@
+#include "sad.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/prng.h"
+
+namespace gpulp {
+
+SadWorkload::SadWorkload(double scale)
+{
+    GPULP_ASSERT(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+    blocks_ = std::max<uint32_t>(
+        2, static_cast<uint32_t>(std::lround(128640.0 * scale)));
+    positions_ = uint64_t{blocks_} * kThreads;
+}
+
+LaunchConfig
+SadWorkload::launchConfig() const
+{
+    return LaunchConfig(Dim3(blocks_), Dim3(kThreads));
+}
+
+uint32_t
+SadWorkload::packedSad(uint32_t a, uint32_t b)
+{
+    uint32_t sad = 0;
+    for (int byte = 0; byte < 4; ++byte) {
+        int pa = static_cast<int>((a >> (8 * byte)) & 0xff);
+        int pb = static_cast<int>((b >> (8 * byte)) & 0xff);
+        sad += static_cast<uint32_t>(std::abs(pa - pb));
+    }
+    return sad;
+}
+
+void
+SadWorkload::setup(Device &dev)
+{
+    // Search positions overlap heavily (as real motion search does):
+    // eight positions share a current-frame patch and differ in their
+    // reference-frame displacement.
+    const uint64_t frame_words = (positions_ / 8 + 1) * kPatchWords + 64;
+    cur_ = ArrayRef<uint32_t>::allocate(dev.mem(), frame_words);
+    ref_ = ArrayRef<uint32_t>::allocate(dev.mem(), frame_words);
+    sad_ = ArrayRef<uint16_t>::allocate(dev.mem(), positions_);
+
+    Prng rng(0x5344);
+    for (uint64_t i = 0; i < frame_words; ++i) {
+        cur_.hostAt(i) = static_cast<uint32_t>(rng.next());
+        ref_.hostAt(i) = static_cast<uint32_t>(rng.next());
+    }
+
+    reference_.assign(positions_, 0);
+    for (uint64_t p = 0; p < positions_; ++p) {
+        uint64_t base = (p >> 3) * kPatchWords;
+        uint64_t disp = p & 7;
+        uint32_t sum = 0;
+        for (uint32_t w = 0; w < kPatchWords; ++w) {
+            sum += packedSad(cur_.hostAt(base + w),
+                             ref_.hostAt(base + w + disp + 16));
+        }
+        reference_[p] = static_cast<uint16_t>(sum);
+    }
+}
+
+void
+SadWorkload::kernel(ThreadCtx &t, const LpContext *lp)
+{
+    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+
+    chargeBlockJitter(t, kJitterSpan);
+    const uint64_t pos = t.globalThreadIdx();
+    const uint64_t base = (pos >> 3) * kPatchWords;
+    const uint64_t disp = pos & 7;
+    uint32_t sum = 0;
+    for (uint32_t w = 0; w < kPatchWords; ++w) {
+        uint32_t a = t.load(cur_, base + w);
+        uint32_t b = t.load(ref_, base + w + disp + 16);
+        sum += packedSad(a, b);
+    }
+    t.compute(kChargePerThread);
+    uint16_t clipped = static_cast<uint16_t>(sum);
+    t.store(sad_, pos, clipped);
+    if (lp) {
+        acc.protectU32(t, clipped);
+        lpCommitRegion(t, *lp, acc);
+    }
+}
+
+void
+SadWorkload::validation(ThreadCtx &t, const LpContext &lp,
+                        RecoverySet &failed)
+{
+    ChecksumAccum acc(lp.cfg->checksum);
+    acc.protectU32(t, t.load(sad_, t.globalThreadIdx()));
+    bool ok = lpValidateRegion(t, lp, acc);
+    if (t.flatThreadIdx() == 0 && !ok)
+        failed.markFailed(t, t.blockRank());
+}
+
+bool
+SadWorkload::verify(std::string *why) const
+{
+    for (uint64_t p = 0; p < positions_; ++p) {
+        if (sad_.hostAt(p) != reference_[p]) {
+            if (why) {
+                *why = detail::formatString(
+                    "sad[%llu] = %u, want %u",
+                    static_cast<unsigned long long>(p),
+                    unsigned{sad_.hostAt(p)}, unsigned{reference_[p]});
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+SadWorkload::outputBytes() const
+{
+    return sad_.size() * sizeof(uint16_t);
+}
+
+} // namespace gpulp

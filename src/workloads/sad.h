@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SAD — sum of absolute differences for video motion estimation
+ * (Parboil).
+ *
+ * Each thread computes the SAD between a small patch of the current
+ * frame and a displaced patch of the reference frame; each block covers
+ * a macroblock's search positions and stores the per-position SADs.
+ * The paper's launch has 128,640 thread blocks — by far the most in the
+ * suite — of very short duration. That combination is what makes SAD
+ * the worst case for lock-based insertion (4,491x / 9,162x slowdown in
+ * Table III) and gives it the largest checksum-array space overhead in
+ * Table V (12.27%), since the output per block is tiny.
+ *
+ * Bandwidth bound.
+ */
+
+#ifndef GPULP_WORKLOADS_SAD_H
+#define GPULP_WORKLOADS_SAD_H
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace gpulp {
+
+/** Per-thread patch SADs over a search window. */
+class SadWorkload : public Workload
+{
+  public:
+    static constexpr uint32_t kThreads = 64;
+    /** Patch width in 32-bit words (4 pixels each). */
+    static constexpr uint32_t kPatchWords = 2;
+    /** Charge per thread, standing in for the full 16x16 macroblock. */
+    static constexpr uint32_t kChargePerThread = 1100;
+    /** Per-block duration jitter span (~15% of block work). */
+    static constexpr uint32_t kJitterSpan = 180;
+
+    explicit SadWorkload(double scale = 1.0);
+
+    const char *name() const override { return "sad"; }
+    const char *bottleneck() const override { return "Bandwidth"; }
+    LaunchConfig launchConfig() const override;
+    void setup(Device &dev) override;
+    void kernel(ThreadCtx &t, const LpContext *lp) override;
+    void validation(ThreadCtx &t, const LpContext &lp,
+                    RecoverySet &failed) override;
+    bool verify(std::string *why = nullptr) const override;
+    uint64_t outputBytes() const override;
+    double quadLoadFactor() const override { return 0.33; }
+    double cuckooLoadFactor() const override { return 0.35; }
+
+  private:
+    /** SAD of two packed 4-pixel words. */
+    static uint32_t packedSad(uint32_t a, uint32_t b);
+
+    uint32_t blocks_;
+    uint64_t positions_; //!< blocks x kThreads search positions
+    ArrayRef<uint32_t> cur_;  //!< current frame, packed pixels
+    ArrayRef<uint32_t> ref_;  //!< reference frame, packed pixels
+    ArrayRef<uint16_t> sad_;  //!< per-position SAD output (uint16,
+                              //!< as in the real benchmark)
+    std::vector<uint16_t> reference_;
+};
+
+} // namespace gpulp
+
+#endif // GPULP_WORKLOADS_SAD_H

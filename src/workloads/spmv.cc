@@ -1,0 +1,106 @@
+#include "spmv.h"
+
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace gpulp {
+
+SpmvWorkload::SpmvWorkload(double scale)
+{
+    GPULP_ASSERT(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+    blocks_ = std::max<uint32_t>(
+        2, static_cast<uint32_t>(std::lround(1536.0 * scale)));
+    rows_ = uint64_t{blocks_} * kThreads;
+}
+
+LaunchConfig
+SpmvWorkload::launchConfig() const
+{
+    return LaunchConfig(Dim3(blocks_), Dim3(kThreads));
+}
+
+void
+SpmvWorkload::setup(Device &dev)
+{
+    values_ = ArrayRef<float>::allocate(dev.mem(), rows_ * kNnzPerRow);
+    cols_ = ArrayRef<uint32_t>::allocate(dev.mem(), rows_ * kNnzPerRow);
+    x_ = ArrayRef<float>::allocate(dev.mem(), kCols);
+    y_ = ArrayRef<float>::allocate(dev.mem(), rows_);
+
+    Prng rng(0x7370);
+    for (uint64_t i = 0; i < rows_ * kNnzPerRow; ++i) {
+        values_.hostAt(i) = rng.nextFloat(-1.0f, 1.0f);
+        cols_.hostAt(i) = static_cast<uint32_t>(rng.nextBelow(kCols));
+    }
+    for (uint32_t i = 0; i < kCols; ++i)
+        x_.hostAt(i) = rng.nextFloat(-1.0f, 1.0f);
+
+    reference_.assign(rows_, 0.0f);
+    for (uint64_t r = 0; r < rows_; ++r) {
+        float sum = 0.0f;
+        for (uint32_t j = 0; j < kNnzPerRow; ++j) {
+            uint64_t idx = r * kNnzPerRow + j;
+            sum += values_.hostAt(idx) * x_.hostAt(cols_.hostAt(idx));
+        }
+        reference_[r] = sum;
+    }
+}
+
+void
+SpmvWorkload::kernel(ThreadCtx &t, const LpContext *lp)
+{
+    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+
+    chargeBlockJitter(t, kJitterSpan);
+    const uint64_t row = t.globalThreadIdx();
+    float sum = 0.0f;
+    for (uint32_t j = 0; j < kNnzPerRow; ++j) {
+        uint64_t idx = row * kNnzPerRow + j;
+        uint32_t col = t.load(cols_, idx);
+        sum += t.load(values_, idx) * t.load(x_, col);
+        t.compute(kChargePerNnz);
+    }
+    t.store(y_, row, sum);
+    if (lp) {
+        acc.protectFloat(t, sum);
+        lpCommitRegion(t, *lp, acc);
+    }
+}
+
+void
+SpmvWorkload::validation(ThreadCtx &t, const LpContext &lp,
+                         RecoverySet &failed)
+{
+    ChecksumAccum acc(lp.cfg->checksum);
+    acc.protectFloat(t, t.load(y_, t.globalThreadIdx()));
+    bool ok = lpValidateRegion(t, lp, acc);
+    if (t.flatThreadIdx() == 0 && !ok)
+        failed.markFailed(t, t.blockRank());
+}
+
+bool
+SpmvWorkload::verify(std::string *why) const
+{
+    for (uint64_t r = 0; r < rows_; ++r) {
+        if (std::fabs(y_.hostAt(r) - reference_[r]) > 1e-3f) {
+            if (why) {
+                *why = detail::formatString(
+                    "y[%llu] = %f, want %f",
+                    static_cast<unsigned long long>(r),
+                    static_cast<double>(y_.hostAt(r)),
+                    static_cast<double>(reference_[r]));
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+SpmvWorkload::outputBytes() const
+{
+    return y_.size() * sizeof(float);
+}
+
+} // namespace gpulp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SPMV — sparse matrix-dense vector multiplication (Parboil).
+ *
+ * CSR y = A*x with one row per thread, the Parboil formulation. The
+ * paper launches 1536 thread blocks; we keep that grid (98304 rows of
+ * 16 nonzeros). SPMV is bandwidth-bound (Table I): its runtime sits on
+ * the DRAM roofline, which is why routing checksum reduction through
+ * global memory (Table IV) explodes its overhead from 22% to 438% in
+ * the paper while the shuffle path stays cheap.
+ */
+
+#ifndef GPULP_WORKLOADS_SPMV_H
+#define GPULP_WORKLOADS_SPMV_H
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace gpulp {
+
+/** CSR sparse matrix-vector product, one row per thread. */
+class SpmvWorkload : public Workload
+{
+  public:
+    static constexpr uint32_t kThreads = 64;
+    static constexpr uint32_t kNnzPerRow = 16;
+    /** Dense-vector length (column space). */
+    static constexpr uint32_t kCols = 4096;
+    /** Charge per nonzero, standing in for the full row length. */
+    static constexpr uint32_t kChargePerNnz = 115;
+    /** Per-block duration jitter span (~15% of block work). */
+    static constexpr uint32_t kJitterSpan = 300;
+
+    explicit SpmvWorkload(double scale = 1.0);
+
+    const char *name() const override { return "spmv"; }
+    const char *bottleneck() const override { return "Bandwidth"; }
+    LaunchConfig launchConfig() const override;
+    void setup(Device &dev) override;
+    void kernel(ThreadCtx &t, const LpContext *lp) override;
+    void validation(ThreadCtx &t, const LpContext &lp,
+                    RecoverySet &failed) override;
+    bool verify(std::string *why = nullptr) const override;
+    uint64_t outputBytes() const override;
+    double quadLoadFactor() const override { return 0.07; }
+    double cuckooLoadFactor() const override { return 0.03; }
+
+  private:
+    uint32_t blocks_;
+    uint64_t rows_;
+    ArrayRef<float> values_;   //!< rows x kNnzPerRow
+    ArrayRef<uint32_t> cols_;  //!< rows x kNnzPerRow
+    ArrayRef<float> x_;        //!< kCols
+    ArrayRef<float> y_;        //!< rows
+    std::vector<float> reference_;
+};
+
+} // namespace gpulp
+
+#endif // GPULP_WORKLOADS_SPMV_H

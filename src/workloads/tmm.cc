@@ -1,0 +1,123 @@
+#include "tmm.h"
+
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace gpulp {
+
+TmmWorkload::TmmWorkload(double scale)
+{
+    GPULP_ASSERT(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+    grid_ = std::max<uint32_t>(
+        2, static_cast<uint32_t>(std::lround(128.0 * std::sqrt(scale))));
+    n_ = grid_ * kTile;
+}
+
+LaunchConfig
+TmmWorkload::launchConfig() const
+{
+    return LaunchConfig(Dim3(grid_, grid_), Dim3(kTile, kTile));
+}
+
+void
+TmmWorkload::setup(Device &dev)
+{
+    a_ = ArrayRef<float>::allocate(dev.mem(), uint64_t{n_} * kDepth);
+    b_ = ArrayRef<float>::allocate(dev.mem(), uint64_t{kDepth} * n_);
+    c_ = ArrayRef<float>::allocate(dev.mem(), uint64_t{n_} * n_);
+
+    Prng rng(0x7177);
+    for (size_t i = 0; i < a_.size(); ++i)
+        a_.hostAt(i) = rng.nextFloat(-1.0f, 1.0f);
+    for (size_t i = 0; i < b_.size(); ++i)
+        b_.hostAt(i) = rng.nextFloat(-1.0f, 1.0f);
+
+    // Host reference, same accumulation order as the kernel.
+    reference_.assign(uint64_t{n_} * n_, 0.0f);
+    for (uint32_t row = 0; row < n_; ++row) {
+        for (uint32_t col = 0; col < n_; ++col) {
+            float sum = 0.0f;
+            for (uint32_t k = 0; k < kDepth; ++k)
+                sum += a_.hostAt(uint64_t{row} * kDepth + k) *
+                       b_.hostAt(uint64_t{k} * n_ + col);
+            reference_[uint64_t{row} * n_ + col] = sum;
+        }
+    }
+}
+
+void
+TmmWorkload::kernel(ThreadCtx &t, const LpContext *lp)
+{
+    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+
+    chargeBlockJitter(t, kJitterSpan);
+    auto tile_a = t.sharedArray<float>(0, kTile * kTile);
+    auto tile_b = t.sharedArray<float>(1, kTile * kTile);
+
+    const uint32_t tx = t.threadIdx().x;
+    const uint32_t ty = t.threadIdx().y;
+    const uint32_t row = t.blockIdx().y * kTile + ty;
+    const uint32_t col = t.blockIdx().x * kTile + tx;
+
+    float sum = 0.0f;
+    for (uint32_t kk = 0; kk < kDepth; kk += kTile) {
+        tile_a.set(ty * kTile + tx,
+                   t.load(a_, uint64_t{row} * kDepth + kk + tx));
+        tile_b.set(ty * kTile + tx,
+                   t.load(b_, uint64_t{kk + ty} * n_ + col));
+        t.syncthreads();
+        for (uint32_t k = 0; k < kTile; ++k) {
+            sum += tile_a.get(ty * kTile + k) * tile_b.get(k * kTile + tx);
+        }
+        // Stand-in for the full-depth k-loop of the paper's input.
+        t.compute(kChargePerKTile);
+        t.syncthreads();
+    }
+
+    t.store(c_, uint64_t{row} * n_ + col, sum);
+    if (lp) {
+        acc.protectFloat(t, sum);
+        lpCommitRegion(t, *lp, acc);
+    }
+}
+
+void
+TmmWorkload::validation(ThreadCtx &t, const LpContext &lp,
+                        RecoverySet &failed)
+{
+    // Recompute the block checksum from the output tile in memory.
+    ChecksumAccum acc(lp.cfg->checksum);
+    const uint32_t row = t.blockIdx().y * kTile + t.threadIdx().y;
+    const uint32_t col = t.blockIdx().x * kTile + t.threadIdx().x;
+    acc.protectFloat(t, t.load(c_, uint64_t{row} * n_ + col));
+    bool ok = lpValidateRegion(t, lp, acc);
+    if (t.flatThreadIdx() == 0 && !ok)
+        failed.markFailed(t, t.blockRank());
+}
+
+bool
+TmmWorkload::verify(std::string *why) const
+{
+    for (uint64_t i = 0; i < reference_.size(); ++i) {
+        float got = c_.hostAt(i);
+        if (std::fabs(got - reference_[i]) > 1e-3f) {
+            if (why) {
+                *why = detail::formatString(
+                    "c[%llu] = %f, want %f",
+                    static_cast<unsigned long long>(i), got,
+                    static_cast<double>(reference_[i]));
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+TmmWorkload::outputBytes() const
+{
+    return c_.size() * sizeof(float);
+}
+
+} // namespace gpulp

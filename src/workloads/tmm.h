@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TMM — tiled matrix multiplication (paper Table I, [18]).
+ *
+ * The paper runs a 4096x4096 multiply with 16384 thread blocks; we keep
+ * the 16384-block grid (128x128 blocks of 8x8 threads over a 1024x1024
+ * output) and shrink the reduction depth to K=32, charging the timing
+ * model for the full-depth k-loop via kChargePerKTile. Each thread
+ * produces one output element through the canonical shared-memory tile
+ * loop (Listing 2 of the paper); with LP enabled the element store is
+ * folded into the block checksum and the block commits at the end.
+ *
+ * Instruction-throughput bound.
+ */
+
+#ifndef GPULP_WORKLOADS_TMM_H
+#define GPULP_WORKLOADS_TMM_H
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace gpulp {
+
+/** Tiled matrix multiplication: C[n x n] = A[n x K] * B[K x n]. */
+class TmmWorkload : public Workload
+{
+  public:
+    /** Shared tile edge (threads per block = kTile^2 = 64). */
+    static constexpr uint32_t kTile = 8;
+
+    /** Functional reduction depth. */
+    static constexpr uint32_t kDepth = 32;
+
+    /**
+     * Cycles charged per k-tile iteration per thread, representing the
+     * paper's full 4096-deep reduction on the "biggest input".
+     */
+    static constexpr uint32_t kChargePerKTile = 5300;
+
+    /** Per-block duration jitter span (~15% of block work). */
+    static constexpr uint32_t kJitterSpan = 3000;
+
+    /** @param scale Fraction of the paper's 16384-block grid. */
+    explicit TmmWorkload(double scale = 1.0);
+
+    const char *name() const override { return "tmm"; }
+    const char *bottleneck() const override { return "Inst throughput"; }
+    LaunchConfig launchConfig() const override;
+    void setup(Device &dev) override;
+    void kernel(ThreadCtx &t, const LpContext *lp) override;
+    void validation(ThreadCtx &t, const LpContext &lp,
+                    RecoverySet &failed) override;
+    bool verify(std::string *why = nullptr) const override;
+    uint64_t outputBytes() const override;
+    double quadLoadFactor() const override { return 0.93; }
+    double cuckooLoadFactor() const override { return 0.49; }
+
+  private:
+    uint32_t grid_;  //!< blocks per output edge
+    uint32_t n_;     //!< output matrix edge
+    ArrayRef<float> a_;
+    ArrayRef<float> b_;
+    ArrayRef<float> c_;
+    std::vector<float> reference_;
+};
+
+} // namespace gpulp
+
+#endif // GPULP_WORKLOADS_TMM_H

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for the common substrate: PRNG, float bit conversion,
+ * statistics helpers and text tables.
+ */
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/floatbits.h"
+#include "common/prng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace gpulp {
+namespace {
+
+// ---------------------------------------------------------------------
+// Prng
+// ---------------------------------------------------------------------
+
+TEST(PrngTest, DeterministicForSameSeed)
+{
+    Prng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(PrngTest, DifferentSeedsDiverge)
+{
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(PrngTest, NextBelowRespectsBound)
+{
+    Prng rng(7);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(PrngTest, NextBelowCoversAllResidues)
+{
+    Prng rng(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(PrngTest, NextRangeInclusive)
+{
+    Prng rng(3);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        int64_t v = rng.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval)
+{
+    Prng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(PrngTest, NextDoubleMeanIsRoughlyHalf)
+{
+    Prng rng(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(PrngTest, NextFloatRange)
+{
+    Prng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        float f = rng.nextFloat(-3.0f, 9.0f);
+        EXPECT_GE(f, -3.0f);
+        EXPECT_LT(f, 9.0f);
+    }
+}
+
+TEST(PrngTest, NextBoolProbability)
+{
+    Prng rng(19);
+    int trues = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        trues += rng.nextBool(0.25);
+    EXPECT_NEAR(static_cast<double>(trues) / n, 0.25, 0.02);
+}
+
+// ---------------------------------------------------------------------
+// floatbits — Fig. 2 of the paper.
+// ---------------------------------------------------------------------
+
+TEST(FloatBitsTest, PaperFig2Example)
+{
+    // Fig. 2: 3.5f --> ordered integer 1080033280.
+    EXPECT_EQ(floatToOrderedInt(3.5f), 1080033280u);
+}
+
+TEST(FloatBitsTest, RoundTrips)
+{
+    for (float v : {0.0f, -0.0f, 1.0f, -1.0f, 3.5f, 1e-38f, 1e38f}) {
+        EXPECT_EQ(orderedIntToFloat(floatToOrderedInt(v)), v);
+    }
+}
+
+TEST(FloatBitsTest, FieldExtractionFor3Point5)
+{
+    // 3.5 = 1.75 * 2^1: sign 0, biased exponent 128, mantissa 0.75.
+    EXPECT_EQ(floatSignBit(3.5f), 0u);
+    EXPECT_EQ(floatExponentBits(3.5f), 128u);
+    EXPECT_EQ(floatMantissaBits(3.5f), 0x600000u);
+}
+
+TEST(FloatBitsTest, SignBitDetected)
+{
+    EXPECT_EQ(floatSignBit(-3.5f), 1u);
+    EXPECT_NE(floatToOrderedInt(3.5f), floatToOrderedInt(-3.5f));
+}
+
+TEST(FloatBitsTest, ExponentCorruptionChangesOrderedInt)
+{
+    // A persistency failure flipping only exponent bits must be
+    // detectable: the ordered int covers the exponent field.
+    uint32_t bits = floatToOrderedInt(3.5f);
+    uint32_t corrupted = bits ^ (1u << 25); // flip an exponent bit
+    EXPECT_NE(orderedIntToFloat(corrupted), 3.5f);
+    EXPECT_NE(corrupted, bits);
+}
+
+TEST(FloatBitsTest, DoubleRoundTrips)
+{
+    for (double v : {0.0, -1.0, 3.5, 1e-300, 1e300}) {
+        EXPECT_EQ(orderedIntToDouble(doubleToOrderedInt(v)), v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------
+
+TEST(StatsTest, GeomeanOfEqualValues)
+{
+    std::vector<double> v{2.0, 2.0, 2.0};
+    EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+}
+
+TEST(StatsTest, GeomeanBasic)
+{
+    std::vector<double> v{1.0, 4.0};
+    EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+}
+
+TEST(StatsTest, GeomeanOverheadMatchesPaperConvention)
+{
+    // Two benchmarks with 10% and 21% overhead: gmean slowdown factor is
+    // sqrt(1.1 * 1.21) = 1.1537..., i.e. 15.37% overhead.
+    std::vector<double> o{0.10, 0.21};
+    EXPECT_NEAR(geomeanOverhead(o), std::sqrt(1.1 * 1.21) - 1.0, 1e-12);
+}
+
+TEST(StatsTest, GeomeanOverheadHandlesZeroAndNegative)
+{
+    std::vector<double> o{0.0, -0.01, 0.02};
+    double g = geomeanOverhead(o);
+    EXPECT_GT(g, -0.01);
+    EXPECT_LT(g, 0.02);
+}
+
+TEST(StatsTest, MeanBasic)
+{
+    std::vector<double> v{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.0);
+}
+
+TEST(StatsTest, SummaryTracksExtremesAndMean)
+{
+    Summary s;
+    for (double v : {3.0, -1.0, 5.0, 2.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.25);
+    EXPECT_DOUBLE_EQ(s.sum(), 9.0);
+}
+
+// ---------------------------------------------------------------------
+// TextTable
+// ---------------------------------------------------------------------
+
+TEST(TextTableTest, RendersHeadersAndRows)
+{
+    TextTable table({"Name", "Overhead"});
+    table.addRow({"TMM", "6.2%"});
+    table.addRow({"GeoMean", "2.1%"});
+    std::string text = table.render();
+    EXPECT_NE(text.find("Name"), std::string::npos);
+    EXPECT_NE(text.find("TMM"), std::string::npos);
+    EXPECT_NE(text.find("6.2%"), std::string::npos);
+    EXPECT_NE(text.find("GeoMean"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAligned)
+{
+    TextTable table({"A", "B"});
+    table.addRow({"xxxx", "y"});
+    std::string text = table.render();
+    // Every line should have the same length in a rendered table.
+    size_t first_len = text.find('\n');
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos);
+        EXPECT_EQ(eol - pos, first_len);
+        pos = eol + 1;
+    }
+}
+
+TEST(TextTableTest, FormatHelpers)
+{
+    EXPECT_EQ(TextTable::num(2.345, 2), "2.35");
+    EXPECT_EQ(TextTable::pct(0.294, 1), "29.4%");
+    EXPECT_EQ(TextTable::factor(36.62, 2), "36.62x");
+    EXPECT_EQ(TextTable::factor(4491.87), "4492x");
+}
+
+} // namespace
+} // namespace gpulp

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the Eager Persistency baseline: clwb/persistBarrier
+ * semantics and timing, the undo-logging store protocol, durable
+ * commit flags, crash recovery by rollback, and the headline
+ * comparisons against LP (overhead and write amplification).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/eager.h"
+#include "core/runtime.h"
+#include "workloads/workload.h" // overheadOf
+
+namespace gpulp {
+namespace {
+
+TEST(ClwbTest, FlushMakesLineDurableImmediately)
+{
+    Device dev;
+    NvmCache nvm(dev.mem(), NvmParams{});
+    dev.attachNvm(&nvm);
+    auto cell = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    nvm.persistAll();
+
+    dev.launch(LaunchConfig(Dim3(1), Dim3(1)), [&](ThreadCtx &t) {
+        t.storeAddr<uint32_t>(cell.addrOf(0), 99);
+        t.clwb(cell.addrOf(0));
+        t.persistBarrier();
+    });
+    EXPECT_TRUE(nvm.isPersisted(cell.addrOf(0), 4));
+    nvm.crash();
+    EXPECT_EQ(cell.hostAt(0), 99u); // survived the power failure
+}
+
+TEST(ClwbTest, UnflushedStoreIsLostOnCrash)
+{
+    Device dev;
+    NvmCache nvm(dev.mem(), NvmParams{});
+    dev.attachNvm(&nvm);
+    auto cell = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    nvm.persistAll();
+    dev.launch(LaunchConfig(Dim3(1), Dim3(1)), [&](ThreadCtx &t) {
+        t.storeAddr<uint32_t>(cell.addrOf(0), 99);
+    });
+    nvm.crash();
+    EXPECT_EQ(cell.hostAt(0), 0u);
+}
+
+TEST(ClwbTest, PersistBarrierStallsForOutstandingFlushes)
+{
+    Device dev;
+    auto data = ArrayRef<uint32_t>::allocate(dev.mem(), 256);
+    Cycles no_flush = 0, with_flush = 0;
+    dev.launch(LaunchConfig(Dim3(1), Dim3(1)), [&](ThreadCtx &t) {
+        Cycles t0 = t.now();
+        t.persistBarrier(); // nothing outstanding: cheap
+        no_flush = t.now() - t0;
+
+        t0 = t.now();
+        for (int i = 0; i < 8; ++i)
+            t.clwb(data.addrOf(static_cast<size_t>(i) * 32));
+        t.persistBarrier();
+        with_flush = t.now() - t0;
+    });
+    EXPECT_LT(no_flush, 16u);
+    EXPECT_GE(with_flush, dev.params().timing.persist_latency_cycles);
+}
+
+TEST(EpRuntimeTest, ProtectedStoreWritesThroughAndLogs)
+{
+    Device dev;
+    NvmCache nvm(dev.mem(), NvmParams{});
+    dev.attachNvm(&nvm);
+    LaunchConfig cfg(Dim3(2), Dim3(4));
+    auto data = ArrayRef<uint32_t>::allocate(dev.mem(), 8);
+    for (int i = 0; i < 8; ++i)
+        data.hostAt(i) = 1000 + i;
+    EpRuntime ep(dev, cfg, 8);
+    nvm.persistAll();
+
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        EpRuntime::ThreadLog tlog;
+        uint64_t i = t.globalThreadIdx();
+        ep.protectedStore32(t, tlog, data.addrOf(i),
+                            static_cast<uint32_t>(2000 + i));
+        ep.commitRegion(t);
+    });
+    for (uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(data.hostAt(i), 2000 + i);
+    EXPECT_TRUE(ep.isCommittedHost(0));
+    EXPECT_TRUE(ep.isCommittedHost(1));
+
+    // Committed EP state survives a crash without any recovery.
+    nvm.crash();
+    for (uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(data.hostAt(i), 2000 + i);
+}
+
+TEST(EpRuntimeTest, UncommittedRegionRollsBackFromUndoLog)
+{
+    Device dev;
+    NvmCache nvm(dev.mem(), NvmParams{});
+    dev.attachNvm(&nvm);
+    LaunchConfig cfg(Dim3(1), Dim3(4));
+    auto data = ArrayRef<uint32_t>::allocate(dev.mem(), 4);
+    for (int i = 0; i < 4; ++i)
+        data.hostAt(i) = 7000 + i;
+    EpRuntime ep(dev, cfg, 8);
+    nvm.persistAll();
+
+    // Stores happen but the region never commits (simulating a crash
+    // between the data flushes and the commit flag).
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        EpRuntime::ThreadLog tlog;
+        uint64_t i = t.globalThreadIdx();
+        ep.protectedStore32(t, tlog, data.addrOf(i),
+                            static_cast<uint32_t>(1 + i));
+        // no commitRegion
+    });
+    nvm.crash();
+
+    uint64_t rolled = ep.recoverUndo();
+    EXPECT_EQ(rolled, 1u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(data.hostAt(i), 7000u + static_cast<uint32_t>(i))
+            << "undo must restore the pre-region value";
+    // And the rollback itself is durable.
+    nvm.crash();
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(data.hostAt(i), 7000u + static_cast<uint32_t>(i));
+}
+
+TEST(EpRuntimeTest, RecoverUndoLeavesCommittedRegionsAlone)
+{
+    Device dev;
+    NvmCache nvm(dev.mem(), NvmParams{});
+    dev.attachNvm(&nvm);
+    LaunchConfig cfg(Dim3(2), Dim3(2));
+    auto data = ArrayRef<uint32_t>::allocate(dev.mem(), 4);
+    EpRuntime ep(dev, cfg, 4);
+    nvm.persistAll();
+
+    // Block 0 commits; block 1 does not.
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        EpRuntime::ThreadLog tlog;
+        uint64_t i = t.globalThreadIdx();
+        ep.protectedStore32(t, tlog, data.addrOf(i),
+                            static_cast<uint32_t>(50 + i));
+        if (t.blockRank() == 0)
+            ep.commitRegion(t);
+    });
+    nvm.crash();
+    uint64_t rolled = ep.recoverUndo();
+    EXPECT_EQ(rolled, 1u);
+    EXPECT_EQ(data.hostAt(0), 50u);
+    EXPECT_EQ(data.hostAt(1), 51u);
+    EXPECT_EQ(data.hostAt(2), 0u); // rolled back
+    EXPECT_EQ(data.hostAt(3), 0u);
+}
+
+TEST(EpRuntimeTest, ResetClearsState)
+{
+    Device dev;
+    LaunchConfig cfg(Dim3(1), Dim3(1));
+    auto data = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    EpRuntime ep(dev, cfg, 4);
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        EpRuntime::ThreadLog tlog;
+        ep.protectedStore32(t, tlog, data.addrOf(0), 1);
+        ep.commitRegion(t);
+    });
+    EXPECT_TRUE(ep.isCommittedHost(0));
+    ep.reset();
+    EXPECT_FALSE(ep.isCommittedHost(0));
+}
+
+TEST(EpVsLpTest, EpCostsFarMoreThanLp)
+{
+    // The paper's Sec. I framing: 20-40% typical for EP, ~2% for LP.
+    // Same kernel, three persistency schemes.
+    Device dev;
+    LaunchConfig cfg(Dim3(32), Dim3(64));
+    const uint64_t n = cfg.numBlocks() * 64;
+    auto data = ArrayRef<uint32_t>::allocate(dev.mem(), n);
+
+    auto baseline = dev.launch(cfg, [&](ThreadCtx &t) {
+        uint64_t i = t.globalThreadIdx();
+        t.compute(3000);
+        t.store(data, i, static_cast<uint32_t>(i));
+    });
+
+    LpRuntime lp(dev, LpConfig::scalable(), cfg);
+    LpContext ctx = lp.context();
+    auto lp_run = dev.launch(cfg, [&](ThreadCtx &t) {
+        ChecksumAccum acc = ctx.makeAccum();
+        uint64_t i = t.globalThreadIdx();
+        t.compute(3000);
+        uint32_t v = static_cast<uint32_t>(i);
+        t.store(data, i, v);
+        acc.protectU32(t, v);
+        lpCommitRegion(t, ctx, acc);
+    });
+
+    EpRuntime ep(dev, cfg, 4);
+    auto ep_run = dev.launch(cfg, [&](ThreadCtx &t) {
+        EpRuntime::ThreadLog tlog;
+        uint64_t i = t.globalThreadIdx();
+        t.compute(3000);
+        ep.protectedStore32(t, tlog, data.addrOf(i),
+                            static_cast<uint32_t>(i));
+        ep.commitRegion(t);
+    });
+
+    double lp_overhead = overheadOf(baseline.cycles, lp_run.cycles);
+    double ep_overhead = overheadOf(baseline.cycles, ep_run.cycles);
+    EXPECT_GT(ep_overhead, 3.0 * lp_overhead);
+    EXPECT_GT(ep_overhead, 0.10); // EP is tens of percent
+}
+
+TEST(EpVsLpTest, EpWriteAmplificationDwarfsLp)
+{
+    auto nvm_writes = [](auto &&run_kernel) {
+        Device dev;
+        NvmCache nvm(dev.mem(), NvmParams{});
+        dev.attachNvm(&nvm);
+        LaunchConfig cfg(Dim3(16), Dim3(64));
+        auto data = ArrayRef<uint32_t>::allocate(dev.mem(),
+                                                 cfg.numBlocks() * 64);
+        nvm.persistAll();
+        nvm.resetStats();
+        run_kernel(dev, cfg, data);
+        nvm.persistAll(); // drain, run-to-completion accounting
+        return nvm.stats().nvmLineWrites();
+    };
+
+    uint64_t base = nvm_writes([](Device &dev, LaunchConfig cfg,
+                                  ArrayRef<uint32_t> &data) {
+        dev.launch(cfg, [&](ThreadCtx &t) {
+            t.store(data, t.globalThreadIdx(), 1u);
+        });
+    });
+    uint64_t lp = nvm_writes([](Device &dev, LaunchConfig cfg,
+                                ArrayRef<uint32_t> &data) {
+        LpRuntime runtime(dev, LpConfig::scalable(), cfg);
+        LpContext ctx = runtime.context();
+        dev.launch(cfg, [&](ThreadCtx &t) {
+            ChecksumAccum acc = ctx.makeAccum();
+            t.store(data, t.globalThreadIdx(), 1u);
+            acc.protectU32(t, 1u);
+            lpCommitRegion(t, ctx, acc);
+        });
+    });
+    uint64_t ep = nvm_writes([](Device &dev, LaunchConfig cfg,
+                                ArrayRef<uint32_t> &data) {
+        EpRuntime runtime(dev, cfg, 128);
+        dev.launch(cfg, [&](ThreadCtx &t) {
+            EpRuntime::ThreadLog tlog;
+            runtime.protectedStore32(
+                t, tlog, data.addrOf(t.globalThreadIdx()), 1u);
+            runtime.commitRegion(t);
+        });
+    });
+
+    // LP adds a few percent; EP multiplies writes (log + data flushes).
+    EXPECT_LT(static_cast<double>(lp), 1.25 * static_cast<double>(base));
+    EXPECT_GT(static_cast<double>(ep), 1.8 * static_cast<double>(base));
+    EXPECT_GT(ep, lp);
+}
+
+} // namespace
+} // namespace gpulp

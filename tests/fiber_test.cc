@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the fiber substrate: switching, yielding, interleaved
+ * scheduling, stack pooling and deep-call correctness.
+ */
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fiber/fiber.h"
+
+namespace gpulp {
+namespace {
+
+TEST(FiberTest, RunsToCompletionWithoutYield)
+{
+    bool ran = false;
+    Fiber fiber([&] { ran = true; });
+    EXPECT_FALSE(fiber.started());
+    fiber.resume();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(fiber.finished());
+}
+
+TEST(FiberTest, YieldSuspendsAndResumes)
+{
+    int step = 0;
+    Fiber fiber([&] {
+        step = 1;
+        Fiber::yield();
+        step = 2;
+        Fiber::yield();
+        step = 3;
+    });
+    fiber.resume();
+    EXPECT_EQ(step, 1);
+    EXPECT_FALSE(fiber.finished());
+    fiber.resume();
+    EXPECT_EQ(step, 2);
+    EXPECT_FALSE(fiber.finished());
+    fiber.resume();
+    EXPECT_EQ(step, 3);
+    EXPECT_TRUE(fiber.finished());
+}
+
+TEST(FiberTest, CurrentIsNullOutsideFiber)
+{
+    EXPECT_EQ(Fiber::current(), nullptr);
+    Fiber *inside = nullptr;
+    Fiber fiber([&] { inside = Fiber::current(); });
+    fiber.resume();
+    EXPECT_EQ(inside, &fiber);
+    EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(FiberTest, RoundRobinInterleavesDeterministically)
+{
+    // Three fibers each append their id then yield, three times; a
+    // round-robin scheduler must interleave them 012012012.
+    std::string trace;
+    std::vector<std::unique_ptr<Fiber>> fibers;
+    for (int id = 0; id < 3; ++id) {
+        fibers.push_back(std::make_unique<Fiber>([&trace, id] {
+            for (int i = 0; i < 3; ++i) {
+                trace += static_cast<char>('0' + id);
+                Fiber::yield();
+            }
+        }));
+    }
+    bool any_alive = true;
+    while (any_alive) {
+        any_alive = false;
+        for (auto &f : fibers) {
+            if (!f->finished()) {
+                f->resume();
+                any_alive = true;
+            }
+        }
+    }
+    EXPECT_EQ(trace, "012012012");
+}
+
+TEST(FiberTest, LocalStateSurvivesYield)
+{
+    // Locals live on the fiber stack; they must survive suspension.
+    long result = 0;
+    Fiber fiber([&] {
+        std::vector<int> data(100);
+        std::iota(data.begin(), data.end(), 1);
+        Fiber::yield();
+        result = std::accumulate(data.begin(), data.end(), 0L);
+    });
+    fiber.resume();
+    fiber.resume();
+    EXPECT_EQ(result, 5050);
+    EXPECT_TRUE(fiber.finished());
+}
+
+TEST(FiberTest, DeepCallChainOnFiberStack)
+{
+    // Recursion exercises a real stack, not a register trick.
+    std::function<long(long)> tri = [&](long n) -> long {
+        if (n == 0)
+            return 0;
+        if (n % 64 == 0)
+            Fiber::yield();
+        return n + tri(n - 1);
+    };
+    long result = 0;
+    Fiber fiber([&] { result = tri(300); });
+    while (!fiber.finished())
+        fiber.resume();
+    EXPECT_EQ(result, 300 * 301 / 2);
+}
+
+TEST(FiberTest, NestedFiberResume)
+{
+    // A fiber may itself resume another fiber (simulator never does,
+    // but the substrate supports it); current() must track correctly.
+    std::string trace;
+    Fiber inner([&] {
+        trace += "i1";
+        Fiber::yield();
+        trace += "i2";
+    });
+    Fiber outer([&] {
+        trace += "o1";
+        inner.resume();
+        trace += "o2";
+        EXPECT_EQ(Fiber::current(), nullptr ? nullptr : Fiber::current());
+        inner.resume();
+        trace += "o3";
+    });
+    outer.resume();
+    EXPECT_EQ(trace, "o1i1o2i2o3");
+    EXPECT_TRUE(outer.finished());
+    EXPECT_TRUE(inner.finished());
+}
+
+TEST(FiberTest, ManyFibersSequential)
+{
+    long sum = 0;
+    for (int i = 0; i < 2000; ++i) {
+        Fiber fiber([&sum, i] { sum += i; });
+        fiber.resume();
+        EXPECT_TRUE(fiber.finished());
+    }
+    EXPECT_EQ(sum, 2000L * 1999 / 2);
+}
+
+TEST(StackPoolTest, ReusesStacks)
+{
+    StackPool pool(64 * 1024);
+    {
+        Fiber a([] {}, &pool);
+        a.resume();
+    }
+    EXPECT_EQ(pool.allocatedCount(), 1u);
+    EXPECT_EQ(pool.freeCount(), 1u);
+    {
+        Fiber b([] {}, &pool);
+        b.resume();
+    }
+    // The second fiber must have reused the first stack.
+    EXPECT_EQ(pool.allocatedCount(), 1u);
+    EXPECT_EQ(pool.freeCount(), 1u);
+}
+
+TEST(StackPoolTest, GrowsToConcurrentPeak)
+{
+    StackPool pool(64 * 1024);
+    {
+        std::vector<std::unique_ptr<Fiber>> fibers;
+        for (int i = 0; i < 8; ++i)
+            fibers.push_back(std::make_unique<Fiber>([] {}, &pool));
+        for (auto &f : fibers)
+            f->resume();
+    }
+    EXPECT_EQ(pool.allocatedCount(), 8u);
+    EXPECT_EQ(pool.freeCount(), 8u);
+}
+
+TEST(StackPoolTest, PooledFibersInterleave)
+{
+    StackPool pool(64 * 1024);
+    int counter = 0;
+    std::vector<std::unique_ptr<Fiber>> fibers;
+    for (int i = 0; i < 32; ++i) {
+        fibers.push_back(std::make_unique<Fiber>(
+            [&counter] {
+                ++counter;
+                Fiber::yield();
+                ++counter;
+            },
+            &pool));
+    }
+    for (auto &f : fibers)
+        f->resume();
+    EXPECT_EQ(counter, 32);
+    for (auto &f : fibers)
+        f->resume();
+    EXPECT_EQ(counter, 64);
+    for (auto &f : fibers)
+        EXPECT_TRUE(f->finished());
+}
+
+} // namespace
+} // namespace gpulp

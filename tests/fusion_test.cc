@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for thread-block fusion (Sec. IV-A): correctness at every
+ * fusion factor, region-count bookkeeping, insert-pressure reduction,
+ * and crash recovery at fused granularity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fusion.h"
+#include "core/runtime.h"
+#include "workloads/workload.h" // overheadOf
+
+namespace gpulp {
+namespace {
+
+/** Fixture: out[i] = 7*i + 3 over a logical grid of 24 x 16 threads. */
+struct FusedFixture {
+    static constexpr uint32_t kThreads = 16;
+    static constexpr uint32_t kLogicalBlocks = 24;
+
+    explicit FusedFixture(Device &dev)
+        : out(ArrayRef<uint32_t>::allocate(
+              dev.mem(), uint64_t{kLogicalBlocks} * kThreads))
+    {
+    }
+
+    FusedKernelFn
+    kernel()
+    {
+        return [this](ThreadCtx &t, uint64_t logical, ChecksumAccum *acc) {
+            uint64_t i = logical * kThreads + t.flatThreadIdx();
+            uint32_t v = static_cast<uint32_t>(7 * i + 3);
+            t.store(out, i, v);
+            if (acc)
+                acc->protectU32(t, v);
+        };
+    }
+
+    FusedKernelFn
+    revalidate()
+    {
+        return [this](ThreadCtx &t, uint64_t logical, ChecksumAccum *acc) {
+            uint64_t i = logical * kThreads + t.flatThreadIdx();
+            acc->protectU32(t, t.load(out, i));
+        };
+    }
+
+    bool
+    correct() const
+    {
+        for (uint64_t i = 0; i < out.size(); ++i) {
+            if (out.hostAt(i) != 7 * i + 3)
+                return false;
+        }
+        return true;
+    }
+
+    ArrayRef<uint32_t> out;
+};
+
+class FusionFactors : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(FusionFactors, FusedLaunchComputesCorrectResult)
+{
+    const uint32_t fuse = GetParam();
+    Device dev;
+    FusedFixture fx(dev);
+    FusedGrid grid(LaunchConfig(Dim3(FusedFixture::kLogicalBlocks),
+                                Dim3(FusedFixture::kThreads)),
+                   fuse);
+    EXPECT_EQ(grid.numRegions(),
+              (FusedFixture::kLogicalBlocks + fuse - 1) / fuse);
+
+    LpRuntime lp(dev, LpConfig::scalable(), grid.physicalConfig());
+    LpContext ctx = lp.context();
+    grid.launch(dev, &ctx, fx.kernel());
+    EXPECT_TRUE(fx.correct());
+
+    // One commit per region, not per logical block.
+    EXPECT_EQ(lp.store().stats().inserts, grid.numRegions());
+    for (uint64_t r = 0; r < grid.numRegions(); ++r) {
+        Checksums cs;
+        EXPECT_TRUE(lp.store().lookup(static_cast<uint32_t>(r), &cs));
+    }
+}
+
+TEST_P(FusionFactors, ValidationPassesThenCatchesCorruption)
+{
+    const uint32_t fuse = GetParam();
+    Device dev;
+    FusedFixture fx(dev);
+    FusedGrid grid(LaunchConfig(Dim3(FusedFixture::kLogicalBlocks),
+                                Dim3(FusedFixture::kThreads)),
+                   fuse);
+    LpRuntime lp(dev, LpConfig::scalable(), grid.physicalConfig());
+    LpContext ctx = lp.context();
+    grid.launch(dev, &ctx, fx.kernel());
+
+    RecoverySet failed(dev, grid.numRegions());
+    grid.validate(dev, ctx, fx.revalidate(), failed);
+    EXPECT_EQ(failed.failedCount(), 0u);
+
+    // Corrupt one output in logical block 5; region 5/fuse must fail.
+    fx.out.hostAt(5 * FusedFixture::kThreads + 2) = 0xBAD;
+    failed.clearAll();
+    grid.validate(dev, ctx, fx.revalidate(), failed);
+    EXPECT_EQ(failed.failedCount(), 1u);
+    EXPECT_TRUE(failed.isFailedHost(5 / fuse));
+}
+
+TEST_P(FusionFactors, CrashRecoveryAtFusedGranularity)
+{
+    const uint32_t fuse = GetParam();
+    Device dev;
+    NvmParams nvm_params;
+    nvm_params.cache_bytes = 16 * 1024;
+    NvmCache nvm(dev.mem(), nvm_params);
+    dev.attachNvm(&nvm);
+
+    FusedFixture fx(dev);
+    FusedGrid grid(LaunchConfig(Dim3(FusedFixture::kLogicalBlocks),
+                                Dim3(FusedFixture::kThreads)),
+                   fuse);
+    LpRuntime lp(dev, LpConfig::scalable(), grid.physicalConfig());
+    LpContext ctx = lp.context();
+
+    nvm.persistAll();
+    nvm.crashAfterStores(100);
+    (void)grid.launch(dev, &ctx, fx.kernel());
+    nvm.crash();
+
+    RecoverySet failed(dev, grid.numRegions());
+    grid.validate(dev, ctx, fx.revalidate(), failed);
+    EXPECT_GT(failed.failedCount(), 0u);
+    grid.recover(dev, ctx, fx.kernel(), failed);
+    if (dev.nvm())
+        dev.nvm()->persistAll();
+
+    EXPECT_TRUE(fx.correct());
+    nvm.crash(); // durable too
+    EXPECT_TRUE(fx.correct());
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, FusionFactors,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 24u));
+
+TEST(FusionTest, FusionReducesInsertPressure)
+{
+    // The Sec. IV-A trade-off, timing side: fewer commits => lower LP
+    // cost for tiny logical blocks.
+    auto overhead = [](uint32_t fuse) {
+        Device dev;
+        LaunchConfig logical(Dim3(512), Dim3(32));
+        auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 512 * 32);
+        FusedGrid grid(logical, fuse);
+        FusedKernelFn body = [&](ThreadCtx &t, uint64_t logical_block,
+                                 ChecksumAccum *acc) {
+            uint64_t i = logical_block * 32 + t.flatThreadIdx();
+            t.compute(60);
+            t.store(out, i, 1u);
+            if (acc)
+                acc->protectU32(t, 1u);
+        };
+        Cycles base = grid.launch(dev, nullptr, body).cycles;
+        LpConfig cfg = LpConfig::naive(TableKind::QuadProbe);
+        LpRuntime lp(dev, cfg, grid.physicalConfig());
+        LpContext ctx = lp.context();
+        Cycles with_lp = grid.launch(dev, &ctx, body).cycles;
+        return overheadOf(base, with_lp);
+    };
+    EXPECT_GT(overhead(1), overhead(8));
+}
+
+} // namespace
+} // namespace gpulp

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the directive-based programming support (Sec. VI): pragma
+ * parsing, the statement slicer, source-to-source translation of the
+ * paper's Listings 5-6 into instrumented + check-and-recovery code
+ * (Listing 7), and the lpcuda runtime semantics the generated code
+ * targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lpdsl/lpcuda_runtime.h"
+#include "lpdsl/slicer.h"
+#include "lpdsl/translator.h"
+
+namespace gpulp::lpdsl {
+namespace {
+
+// ---------------------------------------------------------------------
+// Pragma parsing
+// ---------------------------------------------------------------------
+
+TEST(PragmaTest, ParsesInitDirective)
+{
+    std::string error;
+    auto p = parsePragmaLine(
+        "#pragma nvm lpcuda_init(checksumMM, grid.x * grid.y, 1)", 4,
+        &error);
+    ASSERT_TRUE(p.has_value()) << error;
+    EXPECT_EQ(p->kind, PragmaKind::Init);
+    EXPECT_EQ(p->line, 4u);
+    EXPECT_EQ(p->tableId(), "checksumMM");
+    EXPECT_EQ(p->elemCount(), "grid.x * grid.y");
+    EXPECT_EQ(p->checksumsPerElem(), "1");
+}
+
+TEST(PragmaTest, ParsesChecksumDirectiveWithMultipleKeys)
+{
+    std::string error;
+    auto p = parsePragmaLine(
+        "  #pragma nvm lpcuda_checksum(\"+\", tab, blockIdx.x, "
+        "blockIdx.y)",
+        0, &error);
+    ASSERT_TRUE(p.has_value()) << error;
+    EXPECT_EQ(p->kind, PragmaKind::Checksum);
+    EXPECT_EQ(p->checksumOp(), "\"+\"");
+    EXPECT_EQ(p->checksumTable(), "tab");
+    auto keys = p->keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "blockIdx.x");
+    EXPECT_EQ(keys[1], "blockIdx.y");
+}
+
+TEST(PragmaTest, IgnoresForeignPragmasAndCode)
+{
+    std::string error;
+    EXPECT_FALSE(parsePragmaLine("#pragma once", 0, &error).has_value());
+    EXPECT_TRUE(error.empty());
+    EXPECT_FALSE(parsePragmaLine("int x = 3;", 0, &error).has_value());
+    EXPECT_TRUE(error.empty());
+    EXPECT_FALSE(
+        parsePragmaLine("#pragma omp parallel for", 0, &error).has_value());
+    EXPECT_TRUE(error.empty());
+}
+
+TEST(PragmaTest, ReportsUnknownNvmDirective)
+{
+    std::string error;
+    EXPECT_FALSE(
+        parsePragmaLine("#pragma nvm lpcuda_frobnicate(x)", 2, &error)
+            .has_value());
+    EXPECT_NE(error.find("unknown nvm directive"), std::string::npos);
+}
+
+TEST(PragmaTest, ReportsTooFewArguments)
+{
+    std::string error;
+    EXPECT_FALSE(parsePragmaLine("#pragma nvm lpcuda_init(tab)", 0, &error)
+                     .has_value());
+    EXPECT_NE(error.find("at least"), std::string::npos);
+}
+
+TEST(PragmaTest, SplitTopLevelArgsRespectsNesting)
+{
+    auto args = splitTopLevelArgs("a, f(b, c), d[e, 2], \"x,y\"");
+    ASSERT_EQ(args.size(), 4u);
+    EXPECT_EQ(args[0], "a");
+    EXPECT_EQ(args[1], "f(b, c)");
+    EXPECT_EQ(args[2], "d[e, 2]");
+    EXPECT_EQ(args[3], "\"x,y\"");
+}
+
+// ---------------------------------------------------------------------
+// Slicer
+// ---------------------------------------------------------------------
+
+TEST(SlicerTest, SplitStatementsOnTopLevelSemicolons)
+{
+    auto statements =
+        splitStatements("int a = 1; for (i = 0; i < n; ++i) { b += a; } "
+                        "c = a + b;");
+    ASSERT_EQ(statements.size(), 2u);
+    EXPECT_EQ(statements[0], "int a = 1");
+    // The for-loop (no top-level ';') coalesces with the next
+    // statement — coarse but conservative for slicing.
+    EXPECT_NE(statements[1].find("c = a + b"), std::string::npos);
+}
+
+TEST(SlicerTest, ExtractsIdentifiersNotKeywords)
+{
+    auto ids = extractIdentifiers("int c = wB * BLOCK_SIZE * by + bx");
+    EXPECT_TRUE(ids.count("c"));
+    EXPECT_TRUE(ids.count("wB"));
+    EXPECT_TRUE(ids.count("BLOCK_SIZE"));
+    EXPECT_TRUE(ids.count("by"));
+    EXPECT_TRUE(ids.count("bx"));
+    EXPECT_FALSE(ids.count("int"));
+}
+
+TEST(SlicerTest, AnalyzeFindsDeclarationTarget)
+{
+    Statement s = analyzeStatement("int bx = blockIdx.x");
+    EXPECT_EQ(s.assigned, "bx");
+    EXPECT_TRUE(s.uses.count("blockIdx"));
+}
+
+TEST(SlicerTest, AnalyzeFindsIndexedArrayTarget)
+{
+    Statement s = analyzeStatement("C[c + wB * ty + tx] = Csub");
+    EXPECT_EQ(s.assigned, "C");
+    EXPECT_TRUE(s.uses.count("Csub"));
+    EXPECT_TRUE(s.uses.count("c"));
+}
+
+TEST(SlicerTest, AnalyzeIgnoresComparisons)
+{
+    Statement s = analyzeStatement("if (a == b) x");
+    EXPECT_TRUE(s.assigned.empty());
+}
+
+TEST(SlicerTest, BackwardSliceKeepsOnlyNeededStatements)
+{
+    std::vector<Statement> statements = {
+        analyzeStatement("int bx = blockIdx.x"),
+        analyzeStatement("int unused = 42"),
+        analyzeStatement("int by = blockIdx.y"),
+        analyzeStatement("int c = wB * by + bx"),
+    };
+    auto slice = backwardSlice(statements,
+                               extractIdentifiers("C[c + tx]"));
+    ASSERT_EQ(slice.size(), 3u);
+    EXPECT_EQ(slice[0].assigned, "bx");
+    EXPECT_EQ(slice[1].assigned, "by");
+    EXPECT_EQ(slice[2].assigned, "c");
+}
+
+TEST(SlicerTest, SliceFollowsTransitiveDependencies)
+{
+    std::vector<Statement> statements = {
+        analyzeStatement("int a = base"),
+        analyzeStatement("int b = a * 2"),
+        analyzeStatement("int c = b + 1"),
+    };
+    auto slice = backwardSlice(statements, {"c"});
+    ASSERT_EQ(slice.size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Translator (golden checks on the paper's sample)
+// ---------------------------------------------------------------------
+
+TEST(TranslatorTest, LowersThePaperSample)
+{
+    auto result = translateSource(paperMatrixMulSample());
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.init_directives, 1u);
+    EXPECT_EQ(result.checksum_directives, 1u);
+
+    // Init lowered to a runtime call at the launch site (Listing 5).
+    EXPECT_NE(result.instrumented.find(
+                  "gpulp::lpcuda::initChecksumTable(\"checksumMM\", "
+                  "(grid.x * grid.y), (1))"),
+              std::string::npos);
+
+    // The protected store folds into the checksum (Listing 6).
+    EXPECT_NE(result.instrumented.find("auto __lp_val = (Csub)"),
+              std::string::npos);
+    EXPECT_NE(result.instrumented.find(
+                  "C[c + wB * ty + tx] = __lp_val"),
+              std::string::npos);
+    EXPECT_NE(result.instrumented.find(
+                  "updateChecksum(\"+\", checksumMM, __lp_val, "
+                  "blockIdx.x, blockIdx.y)"),
+              std::string::npos);
+
+    // No pragma survives in the output.
+    EXPECT_EQ(result.instrumented.find("#pragma nvm"), std::string::npos);
+}
+
+TEST(TranslatorTest, GeneratesCheckAndRecoveryKernel)
+{
+    auto result = translateSource(paperMatrixMulSample());
+    ASSERT_TRUE(result.ok);
+
+    // Listing 7's shape: cr<Kernel> with the original signature...
+    EXPECT_NE(result.recovery.find("__global__ void crMatrixMulCUDA("
+                                   "float *C, float *A, float *B, "
+                                   "int wA, int wB)"),
+              std::string::npos);
+    // ...the pointer-computation slice...
+    EXPECT_NE(result.recovery.find("int c = wB * BLOCK_SIZE * by"),
+              std::string::npos);
+    // ...validation against the checksum table with the same keys...
+    EXPECT_NE(result.recovery.find(
+                  "validate(C[c + wB * ty + tx], \"+\", checksumMM, "
+                  "blockIdx.x, blockIdx.y)"),
+              std::string::npos);
+    // ...and the recovery invocation with the kernel's arguments.
+    EXPECT_NE(result.recovery.find("recoveryMatrixMulCUDA(C, A, B, wA, "
+                                   "wB)"),
+              std::string::npos);
+}
+
+TEST(TranslatorTest, ChecksumOutsideKernelIsDiagnosed)
+{
+    auto result = translateSource(
+        "void host() {\n"
+        "#pragma nvm lpcuda_checksum(\"+\", tab, k)\n"
+        "    x[i] = y;\n"
+        "}\n");
+    EXPECT_FALSE(result.ok);
+    ASSERT_FALSE(result.diagnostics.empty());
+    EXPECT_NE(result.diagnostics[0].find("outside a __global__ kernel"),
+              std::string::npos);
+}
+
+TEST(TranslatorTest, ChecksumBeforeNonAssignmentIsDiagnosed)
+{
+    auto result = translateSource(
+        "__global__ void k(int *x) {\n"
+        "#pragma nvm lpcuda_checksum(\"+\", tab, k)\n"
+        "    return;\n"
+        "}\n");
+    EXPECT_FALSE(result.ok);
+    ASSERT_FALSE(result.diagnostics.empty());
+    EXPECT_NE(result.diagnostics[0].find("must precede an assignment"),
+              std::string::npos);
+}
+
+TEST(TranslatorTest, PassesThroughUnannotatedSource)
+{
+    std::string source = "int main() { return 0; }\n";
+    auto result = translateSource(source);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.instrumented, source);
+    EXPECT_EQ(result.init_directives, 0u);
+}
+
+// ---------------------------------------------------------------------
+// lpcuda runtime semantics
+// ---------------------------------------------------------------------
+
+TEST(LpcudaRuntimeTest, ModularFoldAccumulates)
+{
+    auto table = lpcuda::initChecksumTable("t", 8, 1);
+    lpcuda::updateChecksum("+", table, 10u, 0);
+    lpcuda::updateChecksum("+", table, 32u, 0);
+    EXPECT_EQ(table->stored({0}), 42u);
+}
+
+TEST(LpcudaRuntimeTest, ParityFoldXors)
+{
+    auto table = lpcuda::initChecksumTable("t", 8, 1);
+    lpcuda::updateChecksum("^", table, 0b1100u, 1, 2);
+    lpcuda::updateChecksum("^", table, 0b1010u, 1, 2);
+    EXPECT_EQ(table->stored({1, 2}), 0b0110u);
+}
+
+TEST(LpcudaRuntimeTest, KeysAreIndependent)
+{
+    auto table = lpcuda::initChecksumTable("t", 8, 1);
+    lpcuda::updateChecksum("+", table, 1u, 0);
+    lpcuda::updateChecksum("+", table, 2u, 1);
+    EXPECT_EQ(table->stored({0}), 1u);
+    EXPECT_EQ(table->stored({1}), 2u);
+    EXPECT_EQ(table->keyCount(), 2u);
+}
+
+TEST(LpcudaRuntimeTest, FloatFoldsUseOrderedInt)
+{
+    auto table = lpcuda::initChecksumTable("t", 8, 1);
+    lpcuda::updateChecksum("+", table, 3.5f, 7);
+    EXPECT_EQ(table->stored({7}), 1080033280u); // Fig. 2
+}
+
+TEST(LpcudaRuntimeTest, ValidateMatchesIntactValue)
+{
+    auto table = lpcuda::initChecksumTable("t", 8, 1);
+    lpcuda::updateChecksum("+", table, 1.25f, 3);
+    EXPECT_TRUE(lpcuda::validate(1.25f, "+", table, 3));
+    EXPECT_FALSE(lpcuda::validate(1.26f, "+", table, 3));
+}
+
+} // namespace
+} // namespace gpulp::lpdsl

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * MEGA-KV tests: functional insert/search/erase semantics, update in
+ * place, bucket-overflow behaviour, LP validation of table mutations,
+ * and crash recovery of an insert batch.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workloads/megakv.h"
+
+namespace gpulp {
+namespace {
+
+constexpr uint32_t kBatch = 1024;
+
+std::vector<std::pair<uint32_t, uint32_t>>
+makePairs(uint32_t n, uint32_t seed = 1)
+{
+    std::vector<std::pair<uint32_t, uint32_t>> kv;
+    kv.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        kv.emplace_back(seed + i * 2654435761u, 5000 + i);
+    return kv;
+}
+
+TEST(MegaKvTest, InsertThenHostLookupFindsEveryKey)
+{
+    Device dev;
+    MegaKv kv(dev, 1024, kBatch);
+    auto pairs = makePairs(kBatch);
+    kv.stageInserts(pairs);
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.insertKernel(t, nullptr); });
+    for (const auto &[key, value] : pairs) {
+        uint32_t got = 0;
+        ASSERT_TRUE(kv.hostLookup(key, &got)) << "key " << key;
+        EXPECT_EQ(got, value);
+    }
+}
+
+TEST(MegaKvTest, SearchKernelReturnsValuesAndZeroForMisses)
+{
+    Device dev;
+    MegaKv kv(dev, 1024, kBatch);
+    auto pairs = makePairs(kBatch);
+    kv.stageInserts(pairs);
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.insertKernel(t, nullptr); });
+
+    // Search for every other key; replace the rest with absent keys.
+    std::vector<uint32_t> keys(kBatch);
+    for (uint32_t i = 0; i < kBatch; ++i)
+        keys[i] = (i % 2 == 0) ? pairs[i].first : 0xBAD0000u + i;
+    kv.stageKeys(keys);
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.searchKernel(t, nullptr); });
+    for (uint32_t i = 0; i < kBatch; ++i) {
+        if (i % 2 == 0)
+            EXPECT_EQ(kv.resultAt(i), pairs[i].second) << i;
+        else
+            EXPECT_EQ(kv.resultAt(i), 0u) << i;
+    }
+}
+
+TEST(MegaKvTest, EraseRemovesKeys)
+{
+    Device dev;
+    MegaKv kv(dev, 1024, kBatch);
+    auto pairs = makePairs(kBatch);
+    kv.stageInserts(pairs);
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.insertKernel(t, nullptr); });
+
+    std::vector<uint32_t> keys;
+    for (const auto &[k, v] : pairs)
+        keys.push_back(k);
+    kv.stageKeys(keys);
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.eraseKernel(t, nullptr); });
+    for (const auto &[key, value] : pairs)
+        EXPECT_FALSE(kv.hostLookup(key, nullptr)) << key;
+}
+
+TEST(MegaKvTest, InsertUpdatesExistingKeyInPlace)
+{
+    Device dev;
+    MegaKv kv(dev, 512, 128);
+    auto pairs = makePairs(128);
+    kv.stageInserts(pairs);
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.insertKernel(t, nullptr); });
+
+    // Same keys, new values.
+    for (auto &[k, v] : pairs)
+        v += 100000;
+    kv.stageInserts(pairs);
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.insertKernel(t, nullptr); });
+    for (const auto &[key, value] : pairs) {
+        uint32_t got = 0;
+        ASSERT_TRUE(kv.hostLookup(key, &got));
+        EXPECT_EQ(got, value);
+    }
+}
+
+TEST(MegaKvTest, ReinsertionIsIdempotent)
+{
+    // The recovery path re-executes insert blocks; the table must end
+    // up identical.
+    Device dev;
+    MegaKv kv(dev, 512, 128);
+    auto pairs = makePairs(128);
+    kv.stageInserts(pairs);
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.insertKernel(t, nullptr); });
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.insertKernel(t, nullptr); });
+    for (const auto &[key, value] : pairs) {
+        uint32_t got = 0;
+        ASSERT_TRUE(kv.hostLookup(key, &got));
+        EXPECT_EQ(got, value);
+    }
+}
+
+TEST(MegaKvTest, LpInsertCommitsAndValidates)
+{
+    Device dev;
+    MegaKv kv(dev, 1024, kBatch);
+    kv.stageInserts(makePairs(kBatch));
+    LpRuntime lp(dev, LpConfig::scalable(), kv.launchConfig());
+    LpContext ctx = lp.context();
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.insertKernel(t, &ctx); });
+
+    RecoverySet failed(dev, kv.launchConfig().numBlocks());
+    dev.launch(kv.launchConfig(), [&](ThreadCtx &t) {
+        kv.validateInserts(t, ctx, failed);
+    });
+    EXPECT_EQ(failed.failedCount(), 0u);
+}
+
+TEST(MegaKvTest, ValidationCatchesLostTableSlot)
+{
+    Device dev;
+    MegaKv kv(dev, 1024, kBatch);
+    auto pairs = makePairs(kBatch);
+    kv.stageInserts(pairs);
+    LpRuntime lp(dev, LpConfig::scalable(), kv.launchConfig());
+    LpContext ctx = lp.context();
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.insertKernel(t, &ctx); });
+
+    // Simulate a lost slot: erase one inserted key behind LP's back
+    // (an un-checksummed mutation, like a dropped dirty line).
+    uint32_t victim_key = pairs[300].first;
+    ASSERT_TRUE(kv.hostLookup(victim_key, nullptr));
+    kv.stageKeys(std::vector<uint32_t>(kBatch, victim_key));
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.eraseKernel(t, nullptr); });
+
+    kv.stageInserts(pairs); // restore op arrays for validation
+    RecoverySet failed(dev, kv.launchConfig().numBlocks());
+    dev.launch(kv.launchConfig(), [&](ThreadCtx &t) {
+        kv.validateInserts(t, ctx, failed);
+    });
+    // Block 300/128 = 2 lost its key.
+    EXPECT_GT(failed.failedCount(), 0u);
+    EXPECT_TRUE(failed.isFailedHost(300 / MegaKv::kThreads));
+}
+
+TEST(MegaKvTest, LpEraseValidates)
+{
+    Device dev;
+    MegaKv kv(dev, 1024, kBatch);
+    auto pairs = makePairs(kBatch);
+    kv.stageInserts(pairs);
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.insertKernel(t, nullptr); });
+
+    std::vector<uint32_t> keys;
+    for (const auto &[k, v] : pairs)
+        keys.push_back(k);
+    kv.stageKeys(keys);
+    LpRuntime lp(dev, LpConfig::scalable(), kv.launchConfig());
+    LpContext ctx = lp.context();
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.eraseKernel(t, &ctx); });
+
+    RecoverySet failed(dev, kv.launchConfig().numBlocks());
+    dev.launch(kv.launchConfig(), [&](ThreadCtx &t) {
+        kv.validateErases(t, ctx, failed);
+    });
+    EXPECT_EQ(failed.failedCount(), 0u);
+
+    // Resurrect the keys behind validation's back: the committed
+    // erase checksums no longer match, so every block must fail.
+    kv.stageInserts(pairs);
+    dev.launch(kv.launchConfig(),
+               [&](ThreadCtx &t) { kv.insertKernel(t, nullptr); });
+    kv.stageKeys(keys);
+    failed.clearAll();
+    dev.launch(kv.launchConfig(), [&](ThreadCtx &t) {
+        kv.validateErases(t, ctx, failed);
+    });
+    EXPECT_EQ(failed.failedCount(), kv.launchConfig().numBlocks());
+}
+
+TEST(MegaKvTest, CrashRecoveryMakesInsertBatchDurable)
+{
+    Device dev;
+    NvmParams nvm_params;
+    nvm_params.cache_bytes = 64 * 1024;
+    NvmCache nvm(dev.mem(), nvm_params);
+    dev.attachNvm(&nvm);
+
+    MegaKv kv(dev, 1024, kBatch);
+    auto pairs = makePairs(kBatch);
+    kv.stageInserts(pairs);
+    LpRuntime lp(dev, LpConfig::scalable(), kv.launchConfig());
+    LpContext ctx = lp.context();
+
+    nvm.persistAll();
+    nvm.crashAfterStores(400);
+    LaunchResult r = dev.launch(kv.launchConfig(), [&](ThreadCtx &t) {
+        kv.insertKernel(t, &ctx);
+    });
+    EXPECT_TRUE(r.crashed);
+    nvm.crash();
+
+    lpValidateAndRecover(
+        dev, kv.launchConfig(), ctx,
+        [&](ThreadCtx &t, RecoverySet &failed) {
+            kv.validateInserts(t, ctx, failed);
+        },
+        [&](ThreadCtx &t, const RecoverySet &failed) {
+            if (failed.isFailedHost(t.blockRank()))
+                kv.insertKernel(t, &ctx);
+        });
+
+    nvm.crash(); // recovery persisted everything
+    for (const auto &[key, value] : pairs) {
+        uint32_t got = 0;
+        ASSERT_TRUE(kv.hostLookup(key, &got)) << key;
+        EXPECT_EQ(got, value);
+    }
+}
+
+TEST(MegaKvTest, TableBytesAccountsKeysAndValues)
+{
+    Device dev;
+    MegaKv kv(dev, 256, 128);
+    EXPECT_EQ(kv.tableBytes(), 2ull * 256 * MegaKv::kWays * 4);
+}
+
+} // namespace
+} // namespace gpulp

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: arena allocation, typed access,
+ * observer wiring, ArrayRef views and the timing model's per-address
+ * atomic serialization and bandwidth roofline.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.h"
+#include "mem/timing.h"
+
+namespace gpulp {
+namespace {
+
+TEST(GlobalMemoryTest, AllocationsAreAlignedAndDisjoint)
+{
+    GlobalMemory mem(1 << 20);
+    Addr a = mem.alloc(100, 256);
+    Addr b = mem.alloc(100, 256);
+    EXPECT_NE(a, kNullAddr);
+    EXPECT_EQ(a % 256, 0u);
+    EXPECT_EQ(b % 256, 0u);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(GlobalMemoryTest, ReadWriteRoundTrip)
+{
+    GlobalMemory mem(1 << 20);
+    Addr a = mem.alloc(64);
+    mem.write<uint32_t>(a, 0xdeadbeef);
+    mem.write<float>(a + 8, 3.5f);
+    mem.write<uint64_t>(a + 16, ~0ull);
+    EXPECT_EQ(mem.read<uint32_t>(a), 0xdeadbeefu);
+    EXPECT_EQ(mem.read<float>(a + 8), 3.5f);
+    EXPECT_EQ(mem.read<uint64_t>(a + 16), ~0ull);
+}
+
+TEST(GlobalMemoryTest, ResetZeroesAndReclaims)
+{
+    GlobalMemory mem(1 << 20);
+    Addr a = mem.alloc(64);
+    mem.write<uint32_t>(a, 7);
+    size_t used = mem.used();
+    mem.reset();
+    EXPECT_LT(mem.used(), used);
+    Addr b = mem.alloc(64);
+    EXPECT_EQ(mem.read<uint32_t>(b), 0u);
+}
+
+class RecordingObserver : public MemObserver
+{
+  public:
+    void
+    onStore(Addr addr, size_t bytes) override
+    {
+        stores.emplace_back(addr, bytes);
+    }
+    void
+    onLoad(Addr addr, size_t bytes) override
+    {
+        loads.emplace_back(addr, bytes);
+    }
+    std::vector<std::pair<Addr, size_t>> stores;
+    std::vector<std::pair<Addr, size_t>> loads;
+};
+
+TEST(GlobalMemoryTest, ObserverSeesTypedTrafficButNotRaw)
+{
+    GlobalMemory mem(1 << 20);
+    RecordingObserver obs;
+    mem.setObserver(&obs);
+    Addr a = mem.alloc(64);
+    mem.write<uint32_t>(a, 1);
+    (void)mem.read<uint32_t>(a);
+    *reinterpret_cast<uint32_t *>(mem.raw(a)) = 2; // host access
+    ASSERT_EQ(obs.stores.size(), 1u);
+    EXPECT_EQ(obs.stores[0], std::make_pair(a, sizeof(uint32_t)));
+    ASSERT_EQ(obs.loads.size(), 1u);
+    EXPECT_EQ(obs.loads[0], std::make_pair(a, sizeof(uint32_t)));
+}
+
+TEST(ArrayRefTest, ElementAccessAndAddresses)
+{
+    GlobalMemory mem(1 << 20);
+    auto arr = ArrayRef<float>::allocate(mem, 16);
+    EXPECT_EQ(arr.size(), 16u);
+    EXPECT_EQ(arr.addrOf(3), arr.base() + 3 * sizeof(float));
+    arr.set(3, 2.5f);
+    EXPECT_EQ(arr.get(3), 2.5f);
+    arr.hostAt(4) = 9.0f;
+    EXPECT_EQ(arr.get(4), 9.0f);
+}
+
+TEST(ArrayRefTest, HostAccessBypassesObserver)
+{
+    GlobalMemory mem(1 << 20);
+    RecordingObserver obs;
+    auto arr = ArrayRef<int>::allocate(mem, 8);
+    mem.setObserver(&obs);
+    arr.hostAt(0) = 42;
+    EXPECT_TRUE(obs.stores.empty());
+    arr.set(0, 43);
+    EXPECT_EQ(obs.stores.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// MemTiming
+// ---------------------------------------------------------------------
+
+TEST(MemTimingTest, LoadStoreCountersAccumulate)
+{
+    MemTiming timing;
+    timing.onGlobalLoad(4);
+    timing.onGlobalLoad(8);
+    timing.onGlobalStore(4);
+    EXPECT_EQ(timing.stats().global_loads, 2u);
+    EXPECT_EQ(timing.stats().global_stores, 1u);
+    EXPECT_EQ(timing.stats().bytes_read, 12u);
+    EXPECT_EQ(timing.stats().bytes_written, 4u);
+    EXPECT_EQ(timing.stats().totalBytes(), 16u);
+}
+
+TEST(MemTimingTest, UncontendedAtomicCostsOneLatency)
+{
+    TimingParams p;
+    MemTiming timing(p);
+    Cycles done = timing.onAtomic(0x1000, 100);
+    EXPECT_EQ(done, 100 + p.atomic_roundtrip_cycles);
+    EXPECT_EQ(timing.stats().atomic_conflicts, 0u);
+}
+
+TEST(MemTimingTest, SameAddressAtomicsSerialize)
+{
+    TimingParams p;
+    MemTiming timing(p);
+    Cycles first = timing.onAtomic(0x1000, 100);
+    EXPECT_EQ(first, 100 + p.atomic_roundtrip_cycles);
+    // Second atomic issued at the same time queues one service slot
+    // behind the first, then pays its own round trip.
+    Cycles second = timing.onAtomic(0x1000, 100);
+    EXPECT_EQ(second, 100 + p.atomic_service_cycles +
+                          p.atomic_roundtrip_cycles);
+    EXPECT_EQ(timing.stats().atomic_conflicts, 1u);
+    EXPECT_EQ(timing.stats().atomic_wait_cycles, p.atomic_service_cycles);
+}
+
+TEST(MemTimingTest, DifferentAddressesDoNotSerialize)
+{
+    TimingParams p;
+    MemTiming timing(p);
+    Cycles a = timing.onAtomic(0x1000, 100);
+    Cycles b = timing.onAtomic(0x2000, 100);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(timing.stats().atomic_conflicts, 0u);
+}
+
+TEST(MemTimingTest, SameWordDifferentBytesSerialize)
+{
+    // Atomics serialize at word granularity.
+    MemTiming timing;
+    timing.onAtomic(0x1000, 100);
+    Cycles done = timing.onAtomic(0x1002, 100);
+    EXPECT_GT(done, 100 + timing.params().atomic_roundtrip_cycles);
+}
+
+TEST(MemTimingTest, NQueuedAtomicsFormALine)
+{
+    TimingParams p;
+    MemTiming timing(p);
+    Cycles done = 0;
+    const int n = 100;
+    for (int i = 0; i < n; ++i)
+        done = timing.onAtomic(0x42, 0);
+    // The last atomic queues behind n-1 service slots.
+    EXPECT_EQ(done, static_cast<Cycles>(n - 1) * p.atomic_service_cycles +
+                        p.atomic_roundtrip_cycles);
+    EXPECT_EQ(timing.stats().atomic_conflicts, static_cast<uint64_t>(n - 1));
+}
+
+TEST(MemTimingTest, HoldAddressExtendsSerializationWindow)
+{
+    TimingParams p;
+    MemTiming timing(p);
+    Cycles acq = timing.onAtomic(0x100, 0);
+    EXPECT_EQ(acq, p.atomic_roundtrip_cycles);
+    // Critical section runs until cycle 5000; release holds the word.
+    timing.holdAddressUntil(0x100, 5000);
+    Cycles next = timing.onAtomic(0x100, 10);
+    EXPECT_EQ(next, 5000 + p.atomic_roundtrip_cycles);
+}
+
+TEST(MemTimingTest, HoldNeverShrinksTheWindow)
+{
+    MemTiming timing;
+    timing.holdAddressUntil(0x100, 5000);
+    timing.holdAddressUntil(0x100, 100); // must not shrink
+    Cycles next = timing.onAtomic(0x100, 0);
+    EXPECT_GE(next, 5000u);
+}
+
+TEST(MemTimingTest, BandwidthRoofline)
+{
+    TimingParams p;
+    p.bytes_per_cycle = 100.0;
+    MemTiming timing(p);
+    timing.onGlobalLoad(600);
+    timing.onGlobalStore(400);
+    EXPECT_EQ(timing.bandwidthCycles(), 10u);
+}
+
+TEST(MemTimingTest, ResetClearsEverything)
+{
+    MemTiming timing;
+    timing.onGlobalLoad(4);
+    timing.onAtomic(0x10, 0);
+    timing.reset();
+    EXPECT_EQ(timing.stats().global_loads, 0u);
+    EXPECT_EQ(timing.stats().global_atomics, 0u);
+    // Serialization table cleared: atomic at cycle 0 completes in one
+    // round trip again.
+    EXPECT_EQ(timing.onAtomic(0x10, 0),
+              timing.params().atomic_roundtrip_cycles);
+}
+
+} // namespace
+} // namespace gpulp

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Tests for the SIMT simulator: thread identity, global/shared memory,
+ * barriers, warp shuffles, atomics, lock timing, SM scheduling and
+ * crash injection through a kernel.
+ */
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/device.h"
+
+namespace gpulp {
+namespace {
+
+TEST(SimTest, ThreadIdentityCoversGrid)
+{
+    Device dev;
+    LaunchConfig cfg(Dim3(3, 2), Dim3(4, 2));
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 3 * 2 * 4 * 2);
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        uint64_t gid = t.globalThreadIdx();
+        t.store(out, gid, static_cast<uint32_t>(gid) + 1);
+    });
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out.hostAt(i), i + 1) << "thread " << i << " missing";
+}
+
+TEST(SimTest, BlockAndThreadIndicesDecomposeCorrectly)
+{
+    Device dev;
+    LaunchConfig cfg(Dim3(2, 3, 4), Dim3(8));
+    std::set<std::tuple<uint32_t, uint32_t, uint32_t>> seen;
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        if (t.flatThreadIdx() == 0) {
+            seen.insert({t.blockIdx().x, t.blockIdx().y, t.blockIdx().z});
+            EXPECT_EQ(t.gridDim().count(), 24u);
+            EXPECT_EQ(t.blockDim().x, 8u);
+        }
+    });
+    EXPECT_EQ(seen.size(), 24u);
+}
+
+TEST(SimTest, VectorAddProducesCorrectResult)
+{
+    Device dev;
+    const size_t n = 1024;
+    auto a = ArrayRef<float>::allocate(dev.mem(), n);
+    auto b = ArrayRef<float>::allocate(dev.mem(), n);
+    auto c = ArrayRef<float>::allocate(dev.mem(), n);
+    for (size_t i = 0; i < n; ++i) {
+        a.hostAt(i) = static_cast<float>(i);
+        b.hostAt(i) = 2.0f * static_cast<float>(i);
+    }
+    LaunchConfig cfg(Dim3(static_cast<uint32_t>(n / 128)), Dim3(128));
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        size_t i = t.globalThreadIdx();
+        t.store(c, i, t.load(a, i) + t.load(b, i));
+        t.compute(1);
+    });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(c.hostAt(i), 3.0f * static_cast<float>(i));
+}
+
+TEST(SimTest, EarlyReturnThreadsDoNotHangTheBlock)
+{
+    Device dev;
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 64);
+    LaunchConfig cfg(Dim3(1), Dim3(64));
+    // Half the threads bounds-check out before the barrier.
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        if (t.flatThreadIdx() >= 32)
+            return;
+        t.syncthreads();
+        t.store(out, t.flatThreadIdx(), 1u);
+    });
+    for (size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(out.hostAt(i), 1u);
+}
+
+TEST(SimTest, SyncthreadsOrdersSharedMemoryPhases)
+{
+    Device dev;
+    const uint32_t threads = 64;
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), threads);
+    LaunchConfig cfg(Dim3(1), Dim3(threads));
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        auto sh = t.sharedArray<uint32_t>(0, threads);
+        uint32_t tid = t.flatThreadIdx();
+        sh.set(tid, tid);
+        t.syncthreads();
+        // Read a value written by a *different* thread; correct only if
+        // the barrier actually separated the phases.
+        uint32_t other = (tid + 1) % threads;
+        t.store(out, tid, sh.get(other));
+    });
+    for (uint32_t i = 0; i < threads; ++i)
+        EXPECT_EQ(out.hostAt(i), (i + 1) % threads);
+}
+
+TEST(SimTest, RepeatedBarriersKeepGenerations)
+{
+    Device dev;
+    const uint32_t threads = 32;
+    const int rounds = 10;
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), threads);
+    LaunchConfig cfg(Dim3(1), Dim3(threads));
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        auto sh = t.sharedArray<uint32_t>(0, 1);
+        for (int r = 0; r < rounds; ++r) {
+            if (t.flatThreadIdx() == static_cast<uint32_t>(r) % threads)
+                sh.set(0, static_cast<uint32_t>(r) * 100);
+            t.syncthreads();
+            uint32_t v = sh.get(0);
+            EXPECT_EQ(v, static_cast<uint32_t>(r) * 100);
+            t.syncthreads();
+        }
+        t.store(out, t.flatThreadIdx(), 1u);
+    });
+    for (uint32_t i = 0; i < threads; ++i)
+        EXPECT_EQ(out.hostAt(i), 1u);
+}
+
+TEST(SimTest, ShflDownMovesValuesDownTheWarp)
+{
+    Device dev;
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 32);
+    LaunchConfig cfg(Dim3(1), Dim3(32));
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        uint32_t lane = t.laneId();
+        uint32_t got = t.shflDown(lane * 10, 4);
+        t.store(out, lane, got);
+    });
+    for (uint32_t lane = 0; lane < 32; ++lane) {
+        uint32_t expect = lane + 4 < 32 ? (lane + 4) * 10 : lane * 10;
+        EXPECT_EQ(out.hostAt(lane), expect) << "lane " << lane;
+    }
+}
+
+TEST(SimTest, WarpReductionViaShuffleTree)
+{
+    // The paper's warpReduceSum (Listing 4): log2(32) shuffle rounds.
+    Device dev;
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    LaunchConfig cfg(Dim3(1), Dim3(32));
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        uint32_t val = t.laneId() + 1; // 1..32
+        for (uint32_t offset = kWarpSize / 2; offset > 0; offset /= 2)
+            val += t.shflDown(val, offset);
+        if (t.laneId() == 0)
+            t.store(out, 0, val);
+    });
+    EXPECT_EQ(out.hostAt(0), 32u * 33u / 2u);
+}
+
+TEST(SimTest, MultiWarpShufflesAreIndependent)
+{
+    Device dev;
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 4);
+    LaunchConfig cfg(Dim3(1), Dim3(128)); // 4 warps
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        uint32_t val = t.flatThreadIdx();
+        for (uint32_t offset = kWarpSize / 2; offset > 0; offset /= 2)
+            val += t.shflDown(val, offset);
+        if (t.laneId() == 0)
+            t.store(out, t.warpId(), val);
+    });
+    for (uint32_t w = 0; w < 4; ++w) {
+        uint32_t base = w * 32;
+        uint32_t expect = 0;
+        for (uint32_t l = 0; l < 32; ++l)
+            expect += base + l;
+        EXPECT_EQ(out.hostAt(w), expect) << "warp " << w;
+    }
+}
+
+TEST(SimTest, PartialWarpShuffleUsesLiveLanes)
+{
+    Device dev;
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    LaunchConfig cfg(Dim3(1), Dim3(8)); // one warp of 8 lanes
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        uint32_t val = t.laneId() + 1;
+        for (uint32_t offset = 4; offset > 0; offset /= 2)
+            val += t.shflDown(val, offset);
+        if (t.laneId() == 0)
+            t.store(out, 0, val);
+    });
+    EXPECT_EQ(out.hostAt(0), 36u); // 1+..+8
+}
+
+TEST(SimTest, FloatShuffleRoundTrips)
+{
+    Device dev;
+    auto out = ArrayRef<float>::allocate(dev.mem(), 32);
+    LaunchConfig cfg(Dim3(1), Dim3(32));
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        float v = 0.5f * static_cast<float>(t.laneId());
+        float got = t.shflDownF(v, 1);
+        t.store(out, t.laneId(), got);
+    });
+    for (uint32_t lane = 0; lane < 31; ++lane)
+        EXPECT_EQ(out.hostAt(lane), 0.5f * static_cast<float>(lane + 1));
+    EXPECT_EQ(out.hostAt(31), 0.5f * 31.0f);
+}
+
+TEST(SimTest, AtomicAddAccumulatesAcrossBlocks)
+{
+    Device dev;
+    auto counter = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    LaunchConfig cfg(Dim3(16), Dim3(32));
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        t.atomicAdd(counter.addrOf(0), 1);
+    });
+    EXPECT_EQ(counter.hostAt(0), 16u * 32u);
+}
+
+TEST(SimTest, AtomicCASClaimsSlotExactlyOnce)
+{
+    Device dev;
+    auto slot = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    auto winners = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    slot.hostAt(0) = 0xffffffffu; // empty marker
+    LaunchConfig cfg(Dim3(8), Dim3(32));
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        uint32_t me = static_cast<uint32_t>(t.globalThreadIdx());
+        uint32_t old = t.atomicCAS(slot.addrOf(0), 0xffffffffu, me);
+        if (old == 0xffffffffu)
+            t.atomicAdd(winners.addrOf(0), 1);
+    });
+    EXPECT_EQ(winners.hostAt(0), 1u);
+    EXPECT_NE(slot.hostAt(0), 0xffffffffu);
+}
+
+TEST(SimTest, AtomicExchReturnsPreviousValue)
+{
+    Device dev;
+    auto cell = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    auto olds = ArrayRef<uint32_t>::allocate(dev.mem(), 64);
+    cell.hostAt(0) = 1000;
+    LaunchConfig cfg(Dim3(1), Dim3(64));
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        uint32_t old =
+            t.atomicExch(cell.addrOf(0), t.flatThreadIdx() + 1);
+        t.store(olds, t.flatThreadIdx(), old);
+    });
+    // The multiset of observed "old" values must be {1000} plus all
+    // stored values except the final cell occupant.
+    std::multiset<uint32_t> observed;
+    for (size_t i = 0; i < 64; ++i)
+        observed.insert(olds.hostAt(i));
+    EXPECT_EQ(observed.count(1000), 1u);
+    uint32_t final_value = cell.hostAt(0);
+    EXPECT_GE(final_value, 1u);
+    EXPECT_LE(final_value, 64u);
+    EXPECT_EQ(observed.count(final_value), 0u);
+}
+
+TEST(SimTest, ContendedAtomicsCostMoreThanSpread)
+{
+    Device dev;
+    auto cells = ArrayRef<uint32_t>::allocate(dev.mem(), 4096);
+    LaunchConfig cfg(Dim3(64), Dim3(64));
+
+    auto contended = dev.launch(cfg, [&](ThreadCtx &t) {
+        t.atomicAdd(cells.addrOf(0), 1);
+    });
+    auto spread = dev.launch(cfg, [&](ThreadCtx &t) {
+        t.atomicAdd(cells.addrOf(t.globalThreadIdx()), 1);
+    });
+    EXPECT_GT(contended.cycles, 10 * spread.cycles);
+    EXPECT_GT(contended.traffic.atomic_conflicts, 0u);
+}
+
+TEST(SimTest, LockSerializesCriticalSections)
+{
+    Device dev;
+    auto lock = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    auto data = ArrayRef<uint32_t>::allocate(dev.mem(), 4096);
+    LaunchConfig cfg(Dim3(64), Dim3(1));
+
+    auto locked = dev.launch(cfg, [&](ThreadCtx &t) {
+        t.lockAcquire(lock.addrOf(0));
+        for (int i = 0; i < 16; ++i)
+            t.store(data, t.blockRank() * 16 + i, 1u);
+        t.lockRelease(lock.addrOf(0));
+    });
+    auto lockfree = dev.launch(cfg, [&](ThreadCtx &t) {
+        for (int i = 0; i < 16; ++i)
+            t.store(data, t.blockRank() * 16 + i, 1u);
+    });
+    // 64 critical sections serialize; lock-free blocks run in parallel.
+    EXPECT_GT(locked.cycles, 20 * lockfree.cycles);
+}
+
+TEST(SimTest, MoreBlocksThanSmsExtendsTime)
+{
+    DeviceParams params;
+    params.timing.num_sms = 4;
+    Device dev(params);
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 64);
+    auto work = [&](ThreadCtx &t) {
+        t.compute(1000);
+        t.store(out, t.blockRank(), 1u);
+    };
+    auto four = dev.launch(LaunchConfig(Dim3(4), Dim3(1)), work);
+    auto eight = dev.launch(LaunchConfig(Dim3(8), Dim3(1)), work);
+    EXPECT_GE(eight.cycles, 2 * four.critical_path - 100);
+    EXPECT_EQ(eight.blocks_completed, 8u);
+}
+
+TEST(SimTest, BandwidthRooflineBoundsStreamingKernels)
+{
+    DeviceParams params;
+    params.timing.bytes_per_cycle = 8.0;
+    Device dev(params);
+    const size_t n = 16 * 1024;
+    auto a = ArrayRef<uint64_t>::allocate(dev.mem(), n);
+    auto b = ArrayRef<uint64_t>::allocate(dev.mem(), n);
+    LaunchConfig cfg(Dim3(static_cast<uint32_t>(n / 256)), Dim3(256));
+    auto r = dev.launch(cfg, [&](ThreadCtx &t) {
+        size_t i = t.globalThreadIdx();
+        t.store(b, i, t.load(a, i));
+    });
+    // 16 bytes per thread / 8 bytes per cycle.
+    EXPECT_GE(r.cycles, n * 16 / 8);
+    EXPECT_EQ(r.bandwidth_cycles, n * 16 / 8);
+}
+
+TEST(SimTest, BarrierAlignsCycleCounters)
+{
+    Device dev;
+    std::vector<Cycles> after(64, 0);
+    LaunchConfig cfg(Dim3(1), Dim3(64));
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        // Uneven pre-barrier work.
+        t.compute(t.flatThreadIdx() * 10);
+        t.syncthreads();
+        after[t.flatThreadIdx()] = t.now();
+    });
+    for (size_t i = 1; i < after.size(); ++i)
+        EXPECT_EQ(after[i], after[0]);
+    EXPECT_GE(after[0], 63u * 10u);
+}
+
+TEST(SimTest, CrashInjectionAbortsTheGrid)
+{
+    Device dev;
+    NvmCache nvm(dev.mem(), NvmParams{});
+    dev.attachNvm(&nvm);
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 1024);
+    nvm.persistAll();
+    nvm.crashAfterStores(100);
+    LaunchConfig cfg(Dim3(32), Dim3(32));
+    auto r = dev.launch(cfg, [&](ThreadCtx &t) {
+        t.store(out, t.globalThreadIdx(),
+                static_cast<uint32_t>(t.globalThreadIdx()));
+    });
+    EXPECT_TRUE(r.crashed);
+    EXPECT_LT(r.blocks_completed, 32u);
+
+    // After the crash, the persisted image must contain only a prefix
+    // of the stores (those whose lines were evicted), never garbage.
+    nvm.crash();
+    size_t persisted = 0;
+    for (size_t i = 0; i < out.size(); ++i) {
+        uint32_t v = out.hostAt(i);
+        if (v != 0) {
+            EXPECT_EQ(v, static_cast<uint32_t>(i));
+            ++persisted;
+        }
+    }
+    EXPECT_LT(persisted, out.size());
+}
+
+TEST(SimTest, LaunchWithoutNvmIgnoresCrashMachinery)
+{
+    Device dev;
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 32);
+    auto r = dev.launch(LaunchConfig(Dim3(1), Dim3(32)),
+                        [&](ThreadCtx &t) {
+                            t.store(out, t.flatThreadIdx(), 7u);
+                        });
+    EXPECT_FALSE(r.crashed);
+    EXPECT_EQ(r.blocks_completed, 1u);
+}
+
+TEST(SimTest, SharedSlotsAreDistinctPerBlock)
+{
+    Device dev;
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 8);
+    // Each block writes its rank into its own shared slot; blocks must
+    // not see each other's shared memory.
+    dev.launch(LaunchConfig(Dim3(8), Dim3(2)), [&](ThreadCtx &t) {
+        auto sh = t.sharedArray<uint32_t>(0, 2);
+        sh.set(t.flatThreadIdx(), static_cast<uint32_t>(t.blockRank()));
+        t.syncthreads();
+        if (t.flatThreadIdx() == 0)
+            t.store(out, t.blockRank(), sh.get(1));
+    });
+    for (uint32_t b = 0; b < 8; ++b)
+        EXPECT_EQ(out.hostAt(b), b);
+}
+
+TEST(SimTest, TwoDimensionalTiledKernel)
+{
+    // A miniature tiled transpose through shared memory exercises 2-D
+    // indices, shared tiles and barriers together.
+    Device dev;
+    const uint32_t n = 32, tile = 8;
+    auto in = ArrayRef<float>::allocate(dev.mem(), n * n);
+    auto outm = ArrayRef<float>::allocate(dev.mem(), n * n);
+    for (uint32_t i = 0; i < n * n; ++i)
+        in.hostAt(i) = static_cast<float>(i);
+    LaunchConfig cfg(Dim3(n / tile, n / tile), Dim3(tile, tile));
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        auto sh = t.sharedArray<float>(0, tile * tile);
+        uint32_t x = t.blockIdx().x * tile + t.threadIdx().x;
+        uint32_t y = t.blockIdx().y * tile + t.threadIdx().y;
+        sh.set(t.threadIdx().y * tile + t.threadIdx().x,
+               t.load(in, y * n + x));
+        t.syncthreads();
+        uint32_t ox = t.blockIdx().y * tile + t.threadIdx().x;
+        uint32_t oy = t.blockIdx().x * tile + t.threadIdx().y;
+        t.store(outm, oy * n + ox,
+                sh.get(t.threadIdx().x * tile + t.threadIdx().y));
+    });
+    for (uint32_t y = 0; y < n; ++y)
+        for (uint32_t x = 0; x < n; ++x)
+            EXPECT_EQ(outm.hostAt(y * n + x), in.hostAt(x * n + y));
+}
+
+} // namespace
+} // namespace gpulp

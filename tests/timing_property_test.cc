@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Property tests on the timing model — the invariants every paper
+ * result rests on, checked over parameter sweeps rather than single
+ * points: work monotonicity, SM scaling, contention ordering,
+ * bandwidth-roofline behaviour and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+#include "sim/device.h"
+#include "workloads/workload.h" // overheadOf
+
+namespace gpulp {
+namespace {
+
+// ---------------------------------------------------------------------
+// Determinism: identical launches produce identical cycle counts.
+// ---------------------------------------------------------------------
+
+TEST(TimingPropertyTest, LaunchesAreDeterministic)
+{
+    auto run = [] {
+        Device dev;
+        auto data = ArrayRef<uint32_t>::allocate(dev.mem(), 4096);
+        return dev
+            .launch(LaunchConfig(Dim3(32), Dim3(64)),
+                    [&](ThreadCtx &t) {
+                        t.compute(t.flatThreadIdx());
+                        t.atomicAdd(data.addrOf(t.blockRank()), 1);
+                        t.syncthreads();
+                        t.store(data,
+                                2048 + t.globalThreadIdx() % 2048, 1u);
+                    })
+            .cycles;
+    };
+    Cycles first = run();
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(run(), first);
+}
+
+// ---------------------------------------------------------------------
+// Monotonicity in work.
+// ---------------------------------------------------------------------
+
+class ComputeSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ComputeSweep, MoreComputeNeverRunsFaster)
+{
+    Device dev;
+    uint32_t work = GetParam();
+    auto run = [&](uint32_t ops) {
+        return dev
+            .launch(LaunchConfig(Dim3(8), Dim3(32)),
+                    [&](ThreadCtx &t) { t.compute(ops); })
+            .cycles;
+    };
+    EXPECT_LE(run(work), run(work * 2));
+    EXPECT_LE(run(work), run(work + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Work, ComputeSweep,
+                         ::testing::Values(1u, 100u, 10000u));
+
+TEST(TimingPropertyTest, MoreBlocksNeverRunFaster)
+{
+    Device dev;
+    Cycles prev = 0;
+    for (uint32_t blocks : {8u, 80u, 160u, 640u}) {
+        Cycles cycles =
+            dev.launch(LaunchConfig(Dim3(blocks), Dim3(32)),
+                       [&](ThreadCtx &t) { t.compute(500); })
+                .cycles;
+        EXPECT_GE(cycles, prev) << blocks << " blocks";
+        prev = cycles;
+    }
+}
+
+TEST(TimingPropertyTest, MoreSmsNeverRunSlower)
+{
+    Cycles prev = ~Cycles{0};
+    for (uint32_t sms : {10u, 20u, 40u, 80u}) {
+        DeviceParams params;
+        params.timing.num_sms = sms;
+        Device dev(params);
+        Cycles cycles =
+            dev.launch(LaunchConfig(Dim3(160), Dim3(32)),
+                       [&](ThreadCtx &t) { t.compute(1000); })
+                .cycles;
+        EXPECT_LE(cycles, prev) << sms << " SMs";
+        prev = cycles;
+    }
+}
+
+TEST(TimingPropertyTest, PerfectSmScalingForUniformBlocks)
+{
+    // 160 uniform blocks on 80 SMs must take exactly 2 waves.
+    DeviceParams params;
+    params.timing.num_sms = 80;
+    Device dev(params);
+    auto wave = [&](uint32_t blocks) {
+        return dev
+            .launch(LaunchConfig(Dim3(blocks), Dim3(1)),
+                    [&](ThreadCtx &t) { t.compute(10000); })
+            .critical_path;
+    };
+    EXPECT_EQ(wave(160), 2 * wave(80));
+}
+
+// ---------------------------------------------------------------------
+// Contention ordering.
+// ---------------------------------------------------------------------
+
+TEST(TimingPropertyTest, ContentionOrderingHolds)
+{
+    // same-address atomics >= spread atomics >= plain stores, for any
+    // thread count.
+    for (uint32_t threads : {32u, 128u, 512u}) {
+        Device dev;
+        auto data = ArrayRef<uint32_t>::allocate(dev.mem(), 1024);
+        LaunchConfig cfg(Dim3(16), Dim3(threads));
+        Cycles hot = dev.launch(cfg,
+                                [&](ThreadCtx &t) {
+                                    t.atomicAdd(data.addrOf(0), 1);
+                                })
+                         .cycles;
+        Cycles spread =
+            dev.launch(cfg,
+                       [&](ThreadCtx &t) {
+                           t.atomicAdd(data.addrOf(t.globalThreadIdx() %
+                                                   1024),
+                                       1);
+                       })
+                .cycles;
+        Cycles stores =
+            dev.launch(cfg,
+                       [&](ThreadCtx &t) {
+                           t.store(data,
+                                   t.globalThreadIdx() % 1024, 1u);
+                       })
+                .cycles;
+        EXPECT_GE(hot, spread) << threads;
+        EXPECT_GE(spread, stores) << threads;
+    }
+}
+
+TEST(TimingPropertyTest, LockCostGrowsWithContenders)
+{
+    Device dev;
+    auto lock = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    Cycles prev = 0;
+    for (uint32_t blocks : {4u, 16u, 64u, 256u}) {
+        Cycles cycles = dev.launch(LaunchConfig(Dim3(blocks), Dim3(1)),
+                                   [&](ThreadCtx &t) {
+                                       t.lockAcquire(lock.addrOf(0));
+                                       t.compute(50);
+                                       t.lockRelease(lock.addrOf(0));
+                                   })
+                            .cycles;
+        EXPECT_GT(cycles, prev) << blocks << " contenders";
+        prev = cycles;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bandwidth roofline.
+// ---------------------------------------------------------------------
+
+TEST(TimingPropertyTest, RooflineKicksInOnlyUnderTraffic)
+{
+    DeviceParams params;
+    params.timing.bytes_per_cycle = 4.0; // tiny bandwidth
+    Device dev(params);
+    const size_t n = 64 * 1024;
+    auto a = ArrayRef<uint64_t>::allocate(dev.mem(), n);
+
+    // Compute-only kernel: roofline irrelevant.
+    auto compute = dev.launch(LaunchConfig(Dim3(16), Dim3(64)),
+                              [&](ThreadCtx &t) { t.compute(5000); });
+    EXPECT_EQ(compute.cycles, compute.critical_path);
+
+    // Streaming kernel: roofline dominates.
+    auto stream = dev.launch(
+        LaunchConfig(Dim3(static_cast<uint32_t>(n / 256)), Dim3(256)),
+        [&](ThreadCtx &t) {
+            t.store(a, t.globalThreadIdx(),
+                    t.load(a, t.globalThreadIdx()) + 1);
+        });
+    EXPECT_EQ(stream.cycles, stream.bandwidth_cycles);
+    EXPECT_GT(stream.bandwidth_cycles, stream.critical_path);
+}
+
+TEST(TimingPropertyTest, TrafficAccountingMatchesAccessBytes)
+{
+    Device dev;
+    const uint32_t threads = 128;
+    auto a = ArrayRef<uint64_t>::allocate(dev.mem(), threads);
+    auto r = dev.launch(LaunchConfig(Dim3(1), Dim3(threads)),
+                        [&](ThreadCtx &t) {
+                            uint64_t v = t.load(a, t.flatThreadIdx());
+                            t.store(a, t.flatThreadIdx(), v + 1);
+                        });
+    EXPECT_EQ(r.traffic.bytes_read, threads * sizeof(uint64_t));
+    EXPECT_EQ(r.traffic.bytes_written, threads * sizeof(uint64_t));
+    EXPECT_EQ(r.traffic.global_loads, threads);
+    EXPECT_EQ(r.traffic.global_stores, threads);
+}
+
+// ---------------------------------------------------------------------
+// LP overhead properties.
+// ---------------------------------------------------------------------
+
+class LpOverheadSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(LpOverheadSweep, OverheadShrinksAsBlocksGrow)
+{
+    // The fractional LP cost must fall as per-block work grows — the
+    // reason TPACF (long blocks) is nearly free and MRI-GRIDDING (tiny
+    // blocks) is the worst case.
+    const uint32_t threads = GetParam();
+    auto overhead = [&](uint32_t work) {
+        Device dev;
+        LaunchConfig cfg(Dim3(64), Dim3(threads));
+        auto out = ArrayRef<uint32_t>::allocate(
+            dev.mem(), cfg.numBlocks() * threads);
+        Cycles base =
+            dev.launch(cfg,
+                       [&](ThreadCtx &t) {
+                           t.compute(work);
+                           t.store(out, t.globalThreadIdx(), 1u);
+                       })
+                .cycles;
+        LpRuntime lp(dev, LpConfig::scalable(), cfg);
+        LpContext ctx = lp.context();
+        Cycles with_lp =
+            dev.launch(cfg,
+                       [&](ThreadCtx &t) {
+                           ChecksumAccum acc = ctx.makeAccum();
+                           t.compute(work);
+                           t.store(out, t.globalThreadIdx(), 1u);
+                           acc.protectU32(t, 1u);
+                           lpCommitRegion(t, ctx, acc);
+                       })
+                .cycles;
+        return overheadOf(base, with_lp);
+    };
+    double small = overhead(200);
+    double medium = overhead(2000);
+    double large = overhead(20000);
+    EXPECT_GT(small, medium);
+    EXPECT_GT(medium, large);
+    EXPECT_LT(large, 0.03) << "long blocks must be nearly free";
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockShapes, LpOverheadSweep,
+                         ::testing::Values(32u, 64u, 256u));
+
+} // namespace
+} // namespace gpulp

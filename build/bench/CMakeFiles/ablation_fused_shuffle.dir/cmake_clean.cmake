@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fused_shuffle.dir/ablation_fused_shuffle.cc.o"
+  "CMakeFiles/ablation_fused_shuffle.dir/ablation_fused_shuffle.cc.o.d"
+  "ablation_fused_shuffle"
+  "ablation_fused_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fused_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

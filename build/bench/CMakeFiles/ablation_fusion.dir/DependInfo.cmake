@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_fusion.cc" "bench/CMakeFiles/ablation_fusion.dir/ablation_fusion.cc.o" "gcc" "bench/CMakeFiles/ablation_fusion.dir/ablation_fusion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gpulp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gpulp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpulp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpulp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpulp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/gpulp_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/gpulp_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpulp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hash_overhead.dir/fig5_hash_overhead.cc.o"
+  "CMakeFiles/fig5_hash_overhead.dir/fig5_hash_overhead.cc.o.d"
+  "fig5_hash_overhead"
+  "fig5_hash_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hash_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

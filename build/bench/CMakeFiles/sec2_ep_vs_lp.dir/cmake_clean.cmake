@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_ep_vs_lp.dir/sec2_ep_vs_lp.cc.o"
+  "CMakeFiles/sec2_ep_vs_lp.dir/sec2_ep_vs_lp.cc.o.d"
+  "sec2_ep_vs_lp"
+  "sec2_ep_vs_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_ep_vs_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

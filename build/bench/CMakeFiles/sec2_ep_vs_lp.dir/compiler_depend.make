@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec2_ep_vs_lp.
+# This may be replaced when dependencies are built.

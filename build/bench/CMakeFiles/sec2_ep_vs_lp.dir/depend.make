@@ -1,0 +1,2 @@
+# Empty dependencies file for sec2_ep_vs_lp.
+# This may be replaced when dependencies are built.

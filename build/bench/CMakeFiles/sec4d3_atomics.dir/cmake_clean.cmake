@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4d3_atomics.dir/sec4d3_atomics.cc.o"
+  "CMakeFiles/sec4d3_atomics.dir/sec4d3_atomics.cc.o.d"
+  "sec4d3_atomics"
+  "sec4d3_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4d3_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

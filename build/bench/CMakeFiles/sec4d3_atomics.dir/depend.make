@@ -1,0 +1,2 @@
+# Empty dependencies file for sec4d3_atomics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_megakv.dir/sec7_megakv.cc.o"
+  "CMakeFiles/sec7_megakv.dir/sec7_megakv.cc.o.d"
+  "sec7_megakv"
+  "sec7_megakv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_megakv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_multichecksum.dir/sec7_multichecksum.cc.o"
+  "CMakeFiles/sec7_multichecksum.dir/sec7_multichecksum.cc.o.d"
+  "sec7_multichecksum"
+  "sec7_multichecksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_multichecksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

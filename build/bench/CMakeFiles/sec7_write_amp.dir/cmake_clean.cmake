@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_write_amp.dir/sec7_write_amp.cc.o"
+  "CMakeFiles/sec7_write_amp.dir/sec7_write_amp.cc.o.d"
+  "sec7_write_amp"
+  "sec7_write_amp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_write_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_collisions.dir/table2_collisions.cc.o"
+  "CMakeFiles/table2_collisions.dir/table2_collisions.cc.o.d"
+  "table2_collisions"
+  "table2_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_locks.dir/table3_locks.cc.o"
+  "CMakeFiles/table3_locks.dir/table3_locks.cc.o.d"
+  "table3_locks"
+  "table3_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

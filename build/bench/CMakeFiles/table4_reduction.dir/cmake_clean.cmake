@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_reduction.dir/table4_reduction.cc.o"
+  "CMakeFiles/table4_reduction.dir/table4_reduction.cc.o.d"
+  "table4_reduction"
+  "table4_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

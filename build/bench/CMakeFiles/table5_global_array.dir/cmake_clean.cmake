@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_global_array.dir/table5_global_array.cc.o"
+  "CMakeFiles/table5_global_array.dir/table5_global_array.cc.o.d"
+  "table5_global_array"
+  "table5_global_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_global_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_interval.dir/checkpoint_interval.cpp.o"
+  "CMakeFiles/checkpoint_interval.dir/checkpoint_interval.cpp.o.d"
+  "checkpoint_interval"
+  "checkpoint_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_matmul.dir/persistent_matmul.cpp.o"
+  "CMakeFiles/persistent_matmul.dir/persistent_matmul.cpp.o.d"
+  "persistent_matmul"
+  "persistent_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

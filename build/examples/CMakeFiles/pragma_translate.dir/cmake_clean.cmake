@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_translate.dir/pragma_translate.cpp.o"
+  "CMakeFiles/pragma_translate.dir/pragma_translate.cpp.o.d"
+  "pragma_translate"
+  "pragma_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpulp_common.dir/logging.cc.o"
+  "CMakeFiles/gpulp_common.dir/logging.cc.o.d"
+  "CMakeFiles/gpulp_common.dir/prng.cc.o"
+  "CMakeFiles/gpulp_common.dir/prng.cc.o.d"
+  "CMakeFiles/gpulp_common.dir/stats.cc.o"
+  "CMakeFiles/gpulp_common.dir/stats.cc.o.d"
+  "CMakeFiles/gpulp_common.dir/table.cc.o"
+  "CMakeFiles/gpulp_common.dir/table.cc.o.d"
+  "CMakeFiles/gpulp_common.dir/zeroed_buffer.cc.o"
+  "CMakeFiles/gpulp_common.dir/zeroed_buffer.cc.o.d"
+  "libgpulp_common.a"
+  "libgpulp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpulp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checksum.cc" "src/core/CMakeFiles/gpulp_core.dir/checksum.cc.o" "gcc" "src/core/CMakeFiles/gpulp_core.dir/checksum.cc.o.d"
+  "/root/repo/src/core/checksum_store.cc" "src/core/CMakeFiles/gpulp_core.dir/checksum_store.cc.o" "gcc" "src/core/CMakeFiles/gpulp_core.dir/checksum_store.cc.o.d"
+  "/root/repo/src/core/eager.cc" "src/core/CMakeFiles/gpulp_core.dir/eager.cc.o" "gcc" "src/core/CMakeFiles/gpulp_core.dir/eager.cc.o.d"
+  "/root/repo/src/core/fusion.cc" "src/core/CMakeFiles/gpulp_core.dir/fusion.cc.o" "gcc" "src/core/CMakeFiles/gpulp_core.dir/fusion.cc.o.d"
+  "/root/repo/src/core/lp_config.cc" "src/core/CMakeFiles/gpulp_core.dir/lp_config.cc.o" "gcc" "src/core/CMakeFiles/gpulp_core.dir/lp_config.cc.o.d"
+  "/root/repo/src/core/recovery.cc" "src/core/CMakeFiles/gpulp_core.dir/recovery.cc.o" "gcc" "src/core/CMakeFiles/gpulp_core.dir/recovery.cc.o.d"
+  "/root/repo/src/core/reduce.cc" "src/core/CMakeFiles/gpulp_core.dir/reduce.cc.o" "gcc" "src/core/CMakeFiles/gpulp_core.dir/reduce.cc.o.d"
+  "/root/repo/src/core/region.cc" "src/core/CMakeFiles/gpulp_core.dir/region.cc.o" "gcc" "src/core/CMakeFiles/gpulp_core.dir/region.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/gpulp_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/gpulp_core.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gpulp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpulp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpulp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/gpulp_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/gpulp_fiber.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

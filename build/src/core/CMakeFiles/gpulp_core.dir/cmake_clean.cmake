@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpulp_core.dir/checksum.cc.o"
+  "CMakeFiles/gpulp_core.dir/checksum.cc.o.d"
+  "CMakeFiles/gpulp_core.dir/checksum_store.cc.o"
+  "CMakeFiles/gpulp_core.dir/checksum_store.cc.o.d"
+  "CMakeFiles/gpulp_core.dir/eager.cc.o"
+  "CMakeFiles/gpulp_core.dir/eager.cc.o.d"
+  "CMakeFiles/gpulp_core.dir/fusion.cc.o"
+  "CMakeFiles/gpulp_core.dir/fusion.cc.o.d"
+  "CMakeFiles/gpulp_core.dir/lp_config.cc.o"
+  "CMakeFiles/gpulp_core.dir/lp_config.cc.o.d"
+  "CMakeFiles/gpulp_core.dir/recovery.cc.o"
+  "CMakeFiles/gpulp_core.dir/recovery.cc.o.d"
+  "CMakeFiles/gpulp_core.dir/reduce.cc.o"
+  "CMakeFiles/gpulp_core.dir/reduce.cc.o.d"
+  "CMakeFiles/gpulp_core.dir/region.cc.o"
+  "CMakeFiles/gpulp_core.dir/region.cc.o.d"
+  "CMakeFiles/gpulp_core.dir/runtime.cc.o"
+  "CMakeFiles/gpulp_core.dir/runtime.cc.o.d"
+  "libgpulp_core.a"
+  "libgpulp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpulp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpulp_fiber.dir/context_x86_64.S.o"
+  "CMakeFiles/gpulp_fiber.dir/fiber.cc.o"
+  "CMakeFiles/gpulp_fiber.dir/fiber.cc.o.d"
+  "libgpulp_fiber.a"
+  "libgpulp_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/gpulp_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpulp_harness.dir/driver.cc.o"
+  "CMakeFiles/gpulp_harness.dir/driver.cc.o.d"
+  "libgpulp_harness.a"
+  "libgpulp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpulp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lpdsl/pragma.cc" "src/lpdsl/CMakeFiles/gpulp_lpdsl.dir/pragma.cc.o" "gcc" "src/lpdsl/CMakeFiles/gpulp_lpdsl.dir/pragma.cc.o.d"
+  "/root/repo/src/lpdsl/slicer.cc" "src/lpdsl/CMakeFiles/gpulp_lpdsl.dir/slicer.cc.o" "gcc" "src/lpdsl/CMakeFiles/gpulp_lpdsl.dir/slicer.cc.o.d"
+  "/root/repo/src/lpdsl/translator.cc" "src/lpdsl/CMakeFiles/gpulp_lpdsl.dir/translator.cc.o" "gcc" "src/lpdsl/CMakeFiles/gpulp_lpdsl.dir/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpulp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpulp_lpdsl.dir/pragma.cc.o"
+  "CMakeFiles/gpulp_lpdsl.dir/pragma.cc.o.d"
+  "CMakeFiles/gpulp_lpdsl.dir/slicer.cc.o"
+  "CMakeFiles/gpulp_lpdsl.dir/slicer.cc.o.d"
+  "CMakeFiles/gpulp_lpdsl.dir/translator.cc.o"
+  "CMakeFiles/gpulp_lpdsl.dir/translator.cc.o.d"
+  "libgpulp_lpdsl.a"
+  "libgpulp_lpdsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpulp_lpdsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpulp_mem.dir/memory.cc.o"
+  "CMakeFiles/gpulp_mem.dir/memory.cc.o.d"
+  "CMakeFiles/gpulp_mem.dir/timing.cc.o"
+  "CMakeFiles/gpulp_mem.dir/timing.cc.o.d"
+  "libgpulp_mem.a"
+  "libgpulp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpulp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

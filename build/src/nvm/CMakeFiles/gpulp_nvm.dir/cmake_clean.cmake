@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpulp_nvm.dir/nvm_cache.cc.o"
+  "CMakeFiles/gpulp_nvm.dir/nvm_cache.cc.o.d"
+  "libgpulp_nvm.a"
+  "libgpulp_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpulp_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

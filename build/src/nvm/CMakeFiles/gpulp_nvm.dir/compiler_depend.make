@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpulp_nvm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/gpulp_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/gpulp_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/exec.cc" "src/sim/CMakeFiles/gpulp_sim.dir/exec.cc.o" "gcc" "src/sim/CMakeFiles/gpulp_sim.dir/exec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/gpulp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/gpulp_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/gpulp_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpulp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpulp_sim.dir/device.cc.o"
+  "CMakeFiles/gpulp_sim.dir/device.cc.o.d"
+  "CMakeFiles/gpulp_sim.dir/exec.cc.o"
+  "CMakeFiles/gpulp_sim.dir/exec.cc.o.d"
+  "libgpulp_sim.a"
+  "libgpulp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpulp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cutcp.cc" "src/workloads/CMakeFiles/gpulp_workloads.dir/cutcp.cc.o" "gcc" "src/workloads/CMakeFiles/gpulp_workloads.dir/cutcp.cc.o.d"
+  "/root/repo/src/workloads/histo.cc" "src/workloads/CMakeFiles/gpulp_workloads.dir/histo.cc.o" "gcc" "src/workloads/CMakeFiles/gpulp_workloads.dir/histo.cc.o.d"
+  "/root/repo/src/workloads/megakv.cc" "src/workloads/CMakeFiles/gpulp_workloads.dir/megakv.cc.o" "gcc" "src/workloads/CMakeFiles/gpulp_workloads.dir/megakv.cc.o.d"
+  "/root/repo/src/workloads/mri_gridding.cc" "src/workloads/CMakeFiles/gpulp_workloads.dir/mri_gridding.cc.o" "gcc" "src/workloads/CMakeFiles/gpulp_workloads.dir/mri_gridding.cc.o.d"
+  "/root/repo/src/workloads/mri_q.cc" "src/workloads/CMakeFiles/gpulp_workloads.dir/mri_q.cc.o" "gcc" "src/workloads/CMakeFiles/gpulp_workloads.dir/mri_q.cc.o.d"
+  "/root/repo/src/workloads/sad.cc" "src/workloads/CMakeFiles/gpulp_workloads.dir/sad.cc.o" "gcc" "src/workloads/CMakeFiles/gpulp_workloads.dir/sad.cc.o.d"
+  "/root/repo/src/workloads/spmv.cc" "src/workloads/CMakeFiles/gpulp_workloads.dir/spmv.cc.o" "gcc" "src/workloads/CMakeFiles/gpulp_workloads.dir/spmv.cc.o.d"
+  "/root/repo/src/workloads/tmm.cc" "src/workloads/CMakeFiles/gpulp_workloads.dir/tmm.cc.o" "gcc" "src/workloads/CMakeFiles/gpulp_workloads.dir/tmm.cc.o.d"
+  "/root/repo/src/workloads/tpacf.cc" "src/workloads/CMakeFiles/gpulp_workloads.dir/tpacf.cc.o" "gcc" "src/workloads/CMakeFiles/gpulp_workloads.dir/tpacf.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/gpulp_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/gpulp_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpulp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpulp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpulp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/gpulp_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/gpulp_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpulp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

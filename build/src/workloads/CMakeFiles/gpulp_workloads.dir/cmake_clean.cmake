@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpulp_workloads.dir/cutcp.cc.o"
+  "CMakeFiles/gpulp_workloads.dir/cutcp.cc.o.d"
+  "CMakeFiles/gpulp_workloads.dir/histo.cc.o"
+  "CMakeFiles/gpulp_workloads.dir/histo.cc.o.d"
+  "CMakeFiles/gpulp_workloads.dir/megakv.cc.o"
+  "CMakeFiles/gpulp_workloads.dir/megakv.cc.o.d"
+  "CMakeFiles/gpulp_workloads.dir/mri_gridding.cc.o"
+  "CMakeFiles/gpulp_workloads.dir/mri_gridding.cc.o.d"
+  "CMakeFiles/gpulp_workloads.dir/mri_q.cc.o"
+  "CMakeFiles/gpulp_workloads.dir/mri_q.cc.o.d"
+  "CMakeFiles/gpulp_workloads.dir/sad.cc.o"
+  "CMakeFiles/gpulp_workloads.dir/sad.cc.o.d"
+  "CMakeFiles/gpulp_workloads.dir/spmv.cc.o"
+  "CMakeFiles/gpulp_workloads.dir/spmv.cc.o.d"
+  "CMakeFiles/gpulp_workloads.dir/tmm.cc.o"
+  "CMakeFiles/gpulp_workloads.dir/tmm.cc.o.d"
+  "CMakeFiles/gpulp_workloads.dir/tpacf.cc.o"
+  "CMakeFiles/gpulp_workloads.dir/tpacf.cc.o.d"
+  "CMakeFiles/gpulp_workloads.dir/workload.cc.o"
+  "CMakeFiles/gpulp_workloads.dir/workload.cc.o.d"
+  "libgpulp_workloads.a"
+  "libgpulp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpulp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/gpulp_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/gpulp_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/eager_test.cc" "tests/CMakeFiles/gpulp_tests.dir/eager_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/eager_test.cc.o.d"
+  "/root/repo/tests/exec_extra_test.cc" "tests/CMakeFiles/gpulp_tests.dir/exec_extra_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/exec_extra_test.cc.o.d"
+  "/root/repo/tests/fiber_test.cc" "tests/CMakeFiles/gpulp_tests.dir/fiber_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/fiber_test.cc.o.d"
+  "/root/repo/tests/forward_progress_test.cc" "tests/CMakeFiles/gpulp_tests.dir/forward_progress_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/forward_progress_test.cc.o.d"
+  "/root/repo/tests/fusion_test.cc" "tests/CMakeFiles/gpulp_tests.dir/fusion_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/fusion_test.cc.o.d"
+  "/root/repo/tests/lpdsl_test.cc" "tests/CMakeFiles/gpulp_tests.dir/lpdsl_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/lpdsl_test.cc.o.d"
+  "/root/repo/tests/megakv_test.cc" "tests/CMakeFiles/gpulp_tests.dir/megakv_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/megakv_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/gpulp_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/nvm_test.cc" "tests/CMakeFiles/gpulp_tests.dir/nvm_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/nvm_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/gpulp_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/timing_property_test.cc" "tests/CMakeFiles/gpulp_tests.dir/timing_property_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/timing_property_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/gpulp_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/gpulp_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gpulp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gpulp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/lpdsl/CMakeFiles/gpulp_lpdsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpulp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpulp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/gpulp_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpulp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/gpulp_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpulp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

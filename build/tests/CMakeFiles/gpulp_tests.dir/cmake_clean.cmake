@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpulp_tests.dir/common_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/core_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/core_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/eager_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/eager_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/exec_extra_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/exec_extra_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/fiber_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/fiber_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/forward_progress_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/forward_progress_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/fusion_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/fusion_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/lpdsl_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/lpdsl_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/megakv_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/megakv_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/mem_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/mem_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/nvm_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/nvm_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/sim_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/sim_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/timing_property_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/timing_property_test.cc.o.d"
+  "CMakeFiles/gpulp_tests.dir/workload_test.cc.o"
+  "CMakeFiles/gpulp_tests.dir/workload_test.cc.o.d"
+  "gpulp_tests"
+  "gpulp_tests.pdb"
+  "gpulp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpulp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

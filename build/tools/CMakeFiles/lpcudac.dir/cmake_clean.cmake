@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpcudac.dir/lpcudac/main.cc.o"
+  "CMakeFiles/lpcudac.dir/lpcudac/main.cc.o.d"
+  "lpcudac"
+  "lpcudac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpcudac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -8,7 +8,10 @@
  * execution overhead and 1.63% space overhead.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/stats.h"
 #include "common/table.h"
@@ -18,15 +21,39 @@
 using namespace gpulp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // CLI overrides for CI smoke runs: --scale mirrors GPULP_SCALE,
+    // --json emits a machine-readable result file next to the table.
     double scale = benchScaleFromEnv();
+    const char *json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+            scale = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--scale F] [--json PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (scale <= 0.0 || scale > 1.0) {
+        std::fprintf(stderr, "--scale must be in (0, 1], got %f\n", scale);
+        return 2;
+    }
+
     std::printf("=== Table V: checksum global array + shuffle "
                 "(scale %.3f) ===\n",
                 scale);
 
+    auto wall_start = std::chrono::steady_clock::now();
     auto benches = makeSuite(scale);
     auto runs = measureSuite(benches, LpConfig::scalable());
+    double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
 
     TextTable table({"Benchmark", "array+shuffle", "(paper)",
                      "Space overhead", "(paper)"});
@@ -67,5 +94,38 @@ main()
                 spaces[4] == *std::max_element(spaces.begin(), spaces.end())
                     ? "yes"
                     : "no");
+
+    if (json_path) {
+        std::FILE *f = std::fopen(json_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+            return 1;
+        }
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"bench\": \"table5_global_array\",\n");
+        std::fprintf(f, "  \"scale\": %.4f,\n", scale);
+        std::fprintf(f, "  \"workers\": %u,\n",
+                     benches[0]->device().resolveWorkers());
+        std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall_seconds);
+        std::fprintf(f, "  \"geomean_overhead\": %.6f,\n",
+                     geomeanOverhead(overheads));
+        std::fprintf(f, "  \"geomean_space\": %.6f,\n",
+                     geomeanOverhead(spaces));
+        std::fprintf(f, "  \"benchmarks\": [\n");
+        for (int i = 0; i < paper::kCount; ++i) {
+            std::fprintf(
+                f,
+                "    {\"name\": \"%s\", \"overhead\": %.6f, "
+                "\"space\": %.6f, \"baseline_cycles\": %llu, "
+                "\"lp_cycles\": %llu}%s\n",
+                paper::kNames[i], runs[i].overhead, spaces[i],
+                static_cast<unsigned long long>(runs[i].baseline_cycles),
+                static_cast<unsigned long long>(runs[i].lp_cycles),
+                i + 1 < paper::kCount ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("\nwrote %s (%.3fs wall)\n", json_path, wall_seconds);
+    }
     return 0;
 }

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Striped mutexes: a fixed array of mutexes indexed by a hashed key.
+ *
+ * Used wherever the parallel block engine must serialize fine-grained
+ * operations on shared per-address state (functional atomic
+ * read-modify-writes on the memory arena, shards of the per-address
+ * atomic-serialization table) without a single global lock becoming the
+ * bottleneck. The stripe count is a power of two so selection is a
+ * mask, and each mutex sits on its own cache line to avoid false
+ * sharing between unrelated addresses.
+ */
+
+#ifndef GPULP_COMMON_STRIPED_MUTEX_H
+#define GPULP_COMMON_STRIPED_MUTEX_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace gpulp {
+
+/** Fixed pool of @p N mutexes selected by key hash. N must be 2^k. */
+template <size_t N = 64>
+class StripedMutex
+{
+    static_assert(N > 0 && (N & (N - 1)) == 0, "stripe count must be 2^k");
+
+  public:
+    /** The mutex guarding @p key's stripe. */
+    std::mutex &
+    forKey(uint64_t key)
+    {
+        return slots_[indexOf(key)].mu;
+    }
+
+    /** Stripe index for @p key (exposed for tests). */
+    static size_t
+    indexOf(uint64_t key)
+    {
+        // Fibonacci hash spreads adjacent words across stripes.
+        return static_cast<size_t>((key * 0x9e3779b97f4a7c15ull) >> 32) &
+               (N - 1);
+    }
+
+    /** Number of stripes. */
+    static constexpr size_t size() { return N; }
+
+  private:
+    struct alignas(64) Slot {
+        std::mutex mu;
+    };
+    Slot slots_[N];
+};
+
+} // namespace gpulp
+
+#endif // GPULP_COMMON_STRIPED_MUTEX_H

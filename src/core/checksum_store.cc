@@ -60,6 +60,14 @@ QuadProbeTable::QuadProbeTable(Device &dev, uint64_t num_keys,
         static_cast<double>(num_keys) / lf + 1.0));
     entries_ = dev_.mem().alloc(capacity_ * kEntryBytes);
     lock_ = dev_.mem().alloc(4);
+    // The CAS-free discipline (Sec. IV-D.3) touches the table with
+    // plain accesses only, so nothing rank-gates it under the parallel
+    // block engine; declare the table an ordered region to keep its
+    // racy-by-design probe outcomes deterministic. The atomic and
+    // lock-based disciplines gate on their own first CAS / lock
+    // acquire and need no declaration.
+    if (mode_ == LockMode::NoAtomic)
+        dev_.addOrderedRegion(entries_, capacity_ * kEntryBytes);
     clear();
 }
 
@@ -90,7 +98,7 @@ void
 QuadProbeTable::insert(ThreadCtx &t, uint32_t key, Checksums cs)
 {
     GPULP_ASSERT(key != kEmptyKey, "key collides with the empty marker");
-    ++stats_.inserts;
+    bump(stats_.inserts);
     switch (mode_) {
       case LockMode::LockFree:
         insertLockFree(t, key, cs);
@@ -110,7 +118,7 @@ QuadProbeTable::insertLockFree(ThreadCtx &t, uint32_t key, Checksums cs)
     uint32_t h = mixHash(key, 0x1234567u);
     for (uint64_t i = 0; i < maxProbes(); ++i) {
         uint64_t slot = probeSlot(h, i);
-        ++stats_.probes;
+        bump(stats_.probes);
         uint32_t old = t.atomicCAS(keyAddr(slot), kEmptyKey, key);
         if (old == kEmptyKey || old == key) {
             // Claimed (or re-inserting after recovery re-execution):
@@ -119,7 +127,7 @@ QuadProbeTable::insertLockFree(ThreadCtx &t, uint32_t key, Checksums cs)
             t.storeAddr<uint32_t>(payloadAddr(slot) + 4, cs.parity);
             return;
         }
-        ++stats_.collisions;
+        bump(stats_.collisions);
     }
     GPULP_PANIC("quad table full (%llu slots)",
                 static_cast<unsigned long long>(capacity_));
@@ -132,7 +140,7 @@ QuadProbeTable::insertLockBased(ThreadCtx &t, uint32_t key, Checksums cs)
     uint32_t h = mixHash(key, 0x1234567u);
     for (uint64_t i = 0; i < maxProbes(); ++i) {
         uint64_t slot = probeSlot(h, i);
-        ++stats_.probes;
+        bump(stats_.probes);
         uint32_t old = t.loadAddr<uint32_t>(keyAddr(slot));
         if (old == kEmptyKey || old == key) {
             t.storeAddr<uint32_t>(keyAddr(slot), key);
@@ -141,7 +149,7 @@ QuadProbeTable::insertLockBased(ThreadCtx &t, uint32_t key, Checksums cs)
             t.lockRelease(lock_);
             return;
         }
-        ++stats_.collisions;
+        bump(stats_.collisions);
     }
     t.lockRelease(lock_);
     GPULP_PANIC("quad table full (%llu slots)",
@@ -160,7 +168,7 @@ QuadProbeTable::insertNoAtomic(ThreadCtx &t, uint32_t key, Checksums cs)
     uint32_t h = mixHash(key, 0x1234567u);
     for (uint64_t i = 0; i < maxProbes(); ++i) {
         uint64_t slot = probeSlot(h, i);
-        ++stats_.probes;
+        bump(stats_.probes);
         uint32_t old = t.loadAddr<uint32_t>(keyAddr(slot));
         t.stall(rt);
         if (old == kEmptyKey || old == key) {
@@ -175,7 +183,7 @@ QuadProbeTable::insertNoAtomic(ThreadCtx &t, uint32_t key, Checksums cs)
             }
             return;
         }
-        ++stats_.collisions;
+        bump(stats_.collisions);
     }
     GPULP_PANIC("quad table full (%llu slots)",
                 static_cast<unsigned long long>(capacity_));
@@ -241,6 +249,13 @@ CuckooTable::CuckooTable(Device &dev, uint64_t num_keys, LockMode mode,
     stash_slots_ = std::max<uint64_t>(64, num_keys / 64);
     stash_ = dev_.mem().alloc(stash_slots_ * kEntryBytes);
     lock_ = dev_.mem().alloc(4);
+    // See QuadProbeTable: only the plain-access discipline needs its
+    // tables declared ordered (the stash always claims via atomicCAS,
+    // which gates on its own).
+    if (mode_ == LockMode::NoAtomic) {
+        dev_.addOrderedRegion(tables_[0], per_table_ * kEntryBytes);
+        dev_.addOrderedRegion(tables_[1], per_table_ * kEntryBytes);
+    }
     clear();
 }
 
@@ -268,7 +283,7 @@ void
 CuckooTable::insert(ThreadCtx &t, uint32_t key, Checksums cs)
 {
     GPULP_ASSERT(key != kEmptyKey, "key collides with the empty marker");
-    ++stats_.inserts;
+    bump(stats_.inserts);
     switch (mode_) {
       case LockMode::LockFree:
         insertLockFree(t, key, cs);
@@ -301,8 +316,8 @@ CuckooTable::insertLockFree(ThreadCtx &t, uint32_t key, Checksums cs)
         t.storeAddr<uint32_t>(payloadAddr(table, slot) + 4, cur.parity);
         if (old_key == kEmptyKey || old_key == cur_key)
             return;
-        ++stats_.collisions;
-        ++stats_.kicks;
+        bump(stats_.collisions);
+        bump(stats_.kicks);
         cur_key = old_key;
         cur = old_cs;
         table ^= 1;
@@ -334,8 +349,8 @@ CuckooTable::insertLockBased(ThreadCtx &t, uint32_t key, Checksums cs)
             t.lockRelease(lock_);
             return;
         }
-        ++stats_.collisions;
-        ++stats_.kicks;
+        bump(stats_.collisions);
+        bump(stats_.kicks);
         cur_key = old_key;
         cur = old_cs;
         table ^= 1;
@@ -367,8 +382,8 @@ CuckooTable::insertNoAtomic(ThreadCtx &t, uint32_t key, Checksums cs)
         t.storeAddr<uint32_t>(payloadAddr(table, slot) + 4, cur.parity);
         if (old_key == kEmptyKey || old_key == cur_key)
             return;
-        ++stats_.collisions;
-        ++stats_.kicks;
+        bump(stats_.collisions);
+        bump(stats_.kicks);
         cur_key = old_key;
         cur = old_cs;
         table ^= 1;
@@ -379,7 +394,7 @@ CuckooTable::insertNoAtomic(ThreadCtx &t, uint32_t key, Checksums cs)
 void
 CuckooTable::stashInsert(ThreadCtx &t, uint32_t key, Checksums cs)
 {
-    ++stats_.stash_inserts;
+    bump(stats_.stash_inserts);
     for (uint64_t slot = 0; slot < stash_slots_; ++slot) {
         Addr entry = stash_ + slot * kEntryBytes;
         uint32_t old = t.atomicCAS(entry, kEmptyKey, key);
@@ -476,7 +491,7 @@ GlobalArrayStore::slotAddr(uint32_t key) const
 void
 GlobalArrayStore::insert(ThreadCtx &t, uint32_t key, Checksums cs)
 {
-    ++stats_.inserts;
+    bump(stats_.inserts);
     // No key, no probe, no atomic: the block ID is the slot index, so
     // insertion is two plain stores (Sec. V).
     t.storeAddr<uint32_t>(slotAddr(key), cs.sum);

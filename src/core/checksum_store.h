@@ -25,11 +25,15 @@
  *
  * Instrumentation counters (collisions, probes, kicks) are host-side
  * only and never perturb the timing model — they reproduce Table II.
+ * insert() runs on parallel block workers, so the counters are bumped
+ * with relaxed host atomics; the sums are commutative and therefore
+ * identical at any worker count. Read stats() only between launches.
  */
 
 #ifndef GPULP_CORE_CHECKSUM_STORE_H
 #define GPULP_CORE_CHECKSUM_STORE_H
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -94,6 +98,18 @@ class ChecksumStore
     const StoreStats &stats() const { return stats_; }
 
   protected:
+    /**
+     * Increment a StoreStats counter from device code. insert() bodies
+     * run concurrently on the block workers, so plain ++ would race;
+     * a relaxed fetch_add keeps the (commutative) totals exact.
+     */
+    static void
+    bump(uint64_t &counter)
+    {
+        std::atomic_ref<uint64_t>(counter).fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
     StoreStats stats_;
 };
 

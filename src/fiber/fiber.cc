@@ -10,6 +10,14 @@
 #include <ucontext.h>
 #endif
 
+#ifdef GPULP_FIBER_ASAN
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+#ifdef GPULP_FIBER_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
 // Assembly routines (context_x86_64.S).
 extern "C" {
 #if defined(__x86_64__)
@@ -176,6 +184,10 @@ Fiber::Fiber(std::function<void()> entry, StackPool *pool, size_t stack_size)
     saved_sp_ = pair;
     resumer_sp_ = new UctxPair;
 #endif
+
+#ifdef GPULP_FIBER_TSAN
+    tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
 Fiber::~Fiber()
@@ -185,6 +197,17 @@ Fiber::~Fiber()
 #if !defined(__x86_64__)
     delete static_cast<UctxPair *>(saved_sp_);
     delete static_cast<UctxPair *>(resumer_sp_);
+#endif
+#ifdef GPULP_FIBER_TSAN
+    __tsan_destroy_fiber(tsan_fiber_);
+#endif
+#ifdef GPULP_FIBER_ASAN
+    // The frames parked in the finished fiber's yield loop never unwind,
+    // so their redzones would survive into the stack's next user (the
+    // pool recycles stacks). Clear the whole usable region.
+    __asan_unpoison_memory_region(
+        static_cast<char *>(stack_base_) + pageSize(),
+        stack_total_ - pageSize());
 #endif
     if (pool_)
         pool_->release({stack_base_, stack_total_});
@@ -200,6 +223,18 @@ Fiber::resume()
     Fiber *prev = tls_current_fiber;
     tls_current_fiber = this;
     started_ = true;
+#ifdef GPULP_FIBER_TSAN
+    tsan_resumer_ = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+#ifdef GPULP_FIBER_ASAN
+    // Announce the stack change; `fake` parks this context's fake-stack
+    // frames until control returns here (right after the switch call).
+    void *fake = nullptr;
+    __sanitizer_start_switch_fiber(
+        &fake, static_cast<char *>(stack_base_) + pageSize(),
+        stack_total_ - pageSize());
+#endif
 #if defined(__x86_64__)
     gpulp_context_switch(&resumer_sp_, saved_sp_);
 #else
@@ -207,6 +242,9 @@ Fiber::resume()
     auto *res = static_cast<UctxPair *>(resumer_sp_);
     ucontext_entry_arg = this;
     swapcontext(&res->ctx, &own->ctx);
+#endif
+#ifdef GPULP_FIBER_ASAN
+    __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
 #endif
     tls_current_fiber = prev;
 }
@@ -216,12 +254,29 @@ Fiber::yield()
 {
     Fiber *self = tls_current_fiber;
     GPULP_ASSERT(self != nullptr, "Fiber::yield outside any fiber");
+#ifdef GPULP_FIBER_TSAN
+    __tsan_switch_to_fiber(self->tsan_resumer_, 0);
+#endif
+#ifdef GPULP_FIBER_ASAN
+    // A finished fiber is switching away for good: pass nullptr so ASan
+    // frees its fake-stack frames instead of parking them.
+    void *fake = nullptr;
+    __sanitizer_start_switch_fiber(self->finished_ ? nullptr : &fake,
+                                   self->asan_resumer_bottom_,
+                                   self->asan_resumer_size_);
+#endif
 #if defined(__x86_64__)
     gpulp_context_switch(&self->saved_sp_, self->resumer_sp_);
 #else
     auto *own = static_cast<UctxPair *>(self->saved_sp_);
     auto *res = static_cast<UctxPair *>(self->resumer_sp_);
     swapcontext(&own->ctx, &res->ctx);
+#endif
+#ifdef GPULP_FIBER_ASAN
+    // Back on the fiber: re-capture the resumer's bounds — a pooled
+    // worker other than last time's may be driving us now.
+    __sanitizer_finish_switch_fiber(fake, &self->asan_resumer_bottom_,
+                                    &self->asan_resumer_size_);
 #endif
 }
 
@@ -234,6 +289,13 @@ Fiber::current()
 void
 Fiber::runEntry()
 {
+#ifdef GPULP_FIBER_ASAN
+    // First instant on this stack: complete the switch resume() started
+    // (no fake stack yet) and capture the resumer's stack bounds for
+    // the first yield.
+    __sanitizer_finish_switch_fiber(nullptr, &asan_resumer_bottom_,
+                                    &asan_resumer_size_);
+#endif
     entry_();
     finished_ = true;
     // Keep handing control back to the resumer; a finished fiber must

@@ -25,6 +25,29 @@
 #include <memory>
 #include <vector>
 
+/*
+ * Sanitizer support: ASan tracks stack bounds (and fake-stack frames)
+ * per context, TSan keeps a per-fiber shadow state. A hand-rolled
+ * stack switch is invisible to both, producing false stack-overflow
+ * and race reports unless every switch is announced through the
+ * sanitizer fiber APIs. GCC defines __SANITIZE_*; clang exposes
+ * __has_feature.
+ */
+#if defined(__SANITIZE_ADDRESS__)
+#define GPULP_FIBER_ASAN 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define GPULP_FIBER_TSAN 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GPULP_FIBER_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define GPULP_FIBER_TSAN 1
+#endif
+#endif
+
 namespace gpulp {
 
 class StackPool;
@@ -39,8 +62,16 @@ class StackPool;
 class Fiber
 {
   public:
-    /** Default stack size: 64 KiB of usable stack per fiber. */
+    /**
+     * Default stack size: 64 KiB of usable stack per fiber — 256 KiB
+     * under sanitizers, whose instrumentation (redzones, unoptimized
+     * frames) inflates stack frames several-fold.
+     */
+#if defined(GPULP_FIBER_ASAN) || defined(GPULP_FIBER_TSAN)
+    static constexpr size_t kDefaultStackSize = 256 * 1024;
+#else
     static constexpr size_t kDefaultStackSize = 64 * 1024;
+#endif
 
     /**
      * Create a fiber.
@@ -92,6 +123,16 @@ class Fiber
     void *resumer_sp_ = nullptr;   //!< resumer's suspended stack pointer
     bool started_ = false;
     bool finished_ = false;
+
+#ifdef GPULP_FIBER_ASAN
+    /** Resumer stack bounds, captured each time control enters here. */
+    const void *asan_resumer_bottom_ = nullptr;
+    size_t asan_resumer_size_ = 0;
+#endif
+#ifdef GPULP_FIBER_TSAN
+    void *tsan_fiber_ = nullptr;   //!< TSan shadow state for this fiber
+    void *tsan_resumer_ = nullptr; //!< shadow state to switch back to
+#endif
 };
 
 /**

@@ -15,10 +15,14 @@
 #ifndef GPULP_MEM_MEMORY_H
 #define GPULP_MEM_MEMORY_H
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 
 #include "common/logging.h"
+#include "common/striped_mutex.h"
 #include "common/zeroed_buffer.h"
 
 namespace gpulp {
@@ -85,7 +89,15 @@ class GlobalMemory
     /** Currently installed observer, or nullptr. */
     MemObserver *observer() const { return observer_; }
 
-    /** Typed load of a trivially copyable T at @p addr. */
+    /**
+     * Typed load of a trivially copyable T at @p addr.
+     *
+     * Aligned accesses of power-of-two size up to 8 bytes are performed
+     * with relaxed host atomics: the parallel block engine runs blocks
+     * concurrently, and device code is allowed to race on words (e.g.
+     * optimistic pre-check loads against another block's CAS), so word
+     * accesses must be untorn at the host level.
+     */
     template <typename T>
     T
     read(Addr addr) const
@@ -95,21 +107,54 @@ class GlobalMemory
         if (observer_)
             observer_->onLoad(addr, sizeof(T));
         T value;
+        if constexpr (isWordSized<T>()) {
+            if (addr % sizeof(T) == 0) {
+                using Word = WordFor<sizeof(T)>;
+                // atomic_ref<const T> is C++26; the load itself does
+                // not mutate.
+                auto *p = reinterpret_cast<Word *>(
+                    const_cast<char *>(data_.data() + addr));
+                Word w = std::atomic_ref<Word>(*p).load(
+                    std::memory_order_relaxed);
+                std::memcpy(&value, &w, sizeof(T));
+                return value;
+            }
+        }
         std::memcpy(&value, data_.data() + addr, sizeof(T));
         return value;
     }
 
-    /** Typed store of a trivially copyable T at @p addr. */
+    /** Typed store of a trivially copyable T at @p addr (see read()). */
     template <typename T>
     void
     write(Addr addr, T value)
     {
         static_assert(std::is_trivially_copyable_v<T>);
         checkRange(addr, sizeof(T));
+        if constexpr (isWordSized<T>()) {
+            if (addr % sizeof(T) == 0) {
+                using Word = WordFor<sizeof(T)>;
+                Word w;
+                std::memcpy(&w, &value, sizeof(T));
+                auto *p = reinterpret_cast<Word *>(data_.data() + addr);
+                std::atomic_ref<Word>(*p).store(w,
+                                                std::memory_order_relaxed);
+                if (observer_)
+                    observer_->onStore(addr, sizeof(T));
+                return;
+            }
+        }
         std::memcpy(data_.data() + addr, &value, sizeof(T));
         if (observer_)
             observer_->onStore(addr, sizeof(T));
     }
+
+    /**
+     * Mutex serializing functional read-modify-writes on @p addr's
+     * stripe. ThreadCtx atomics hold this across their load+store pair
+     * so concurrent blocks cannot interleave inside one RMW.
+     */
+    std::mutex &rmwMutex(Addr addr) { return rmw_locks_.forKey(addr >> 2); }
 
     /**
      * Raw pointer into the arena; bypasses the observer. Use only for
@@ -122,6 +167,21 @@ class GlobalMemory
     const char *raw(Addr addr) const { return data_.data() + addr; }
 
   private:
+    template <size_t Bytes>
+    using WordFor = std::conditional_t<
+        Bytes == 1, uint8_t,
+        std::conditional_t<Bytes == 2, uint16_t,
+                           std::conditional_t<Bytes == 4, uint32_t,
+                                              uint64_t>>>;
+
+    template <typename T>
+    static constexpr bool
+    isWordSized()
+    {
+        return sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+               sizeof(T) == 8;
+    }
+
     void
     checkRange(Addr addr, size_t bytes) const
     {
@@ -134,6 +194,7 @@ class GlobalMemory
     ZeroedBuffer data_;
     size_t next_;
     MemObserver *observer_ = nullptr;
+    mutable StripedMutex<64> rmw_locks_;
 };
 
 /**

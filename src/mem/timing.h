@@ -22,8 +22,11 @@
 #ifndef GPULP_MEM_TIMING_H
 #define GPULP_MEM_TIMING_H
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "mem/memory.h"
 
@@ -112,18 +115,52 @@ struct MemTrafficStats {
 };
 
 /**
+ * One serialization event recorded by a block-local MemTiming for
+ * rank-ordered replay against the launch-global table.
+ *
+ * All cycle values are block-local (the block starts at cycle 0); the
+ * replay shifts them by the block's scheduled start plus any skew a
+ * thread accumulated from cross-block queueing earlier in the replay.
+ */
+struct TraceEvent {
+    enum class Kind : uint8_t {
+        Atomic,      //!< plain atomic service slot
+        LockAcquire, //!< full lock handoff; recomputed during replay
+        Hold,        //!< serialization window extension (lock release)
+    };
+
+    Kind kind;
+    uint32_t tid;  //!< flat thread index within the block
+    Addr word;     //!< 4-byte-aligned serialization word
+    Cycles issue;  //!< local issue cycle (Atomic / LockAcquire)
+    Cycles slot;   //!< local service-slot start (Atomic / LockAcquire)
+    Cycles done;   //!< local completion (LockAcquire) / window end (Hold)
+};
+
+/**
  * Kernel-scoped timing state: traffic counters plus the per-address
  * serialization table used by atomics and locks.
+ *
+ * Concurrency contract: the busy table is sharded behind striped locks
+ * so per-address lookups from different addresses do not contend, but
+ * the traffic counters are plain — each MemTiming instance must have a
+ * single writer thread. The parallel engine follows this by giving
+ * every worker its own block-local MemTiming (tracing enabled) and
+ * reserving the launch-global instance for the sequential rank-order
+ * replay on the launching thread.
  */
 class MemTiming
 {
   public:
     explicit MemTiming(const TimingParams &params = TimingParams{});
 
+    MemTiming(const MemTiming &) = delete;
+    MemTiming &operator=(const MemTiming &) = delete;
+
     /** Timing parameters in force. */
     const TimingParams &params() const { return params_; }
 
-    /** Reset all counters and the serialization table. */
+    /** Reset counters, the serialization table and any recorded trace. */
     void reset();
 
     /** Record a global load of @p bytes; returns issue cost in cycles. */
@@ -133,7 +170,8 @@ class MemTiming
     Cycles onGlobalStore(size_t bytes);
 
     /**
-     * Serialize an atomic on @p addr issued at absolute cycle @p now.
+     * Serialize an atomic on @p addr issued at absolute cycle @p now by
+     * flat thread @p tid.
      *
      * The word's service slot is the later of @p now and the address's
      * previous slot end; the address stays busy for one
@@ -145,14 +183,25 @@ class MemTiming
      *
      * @return Absolute completion cycle seen by the issuing thread.
      */
-    Cycles onAtomic(Addr addr, Cycles now);
+    Cycles onAtomic(Addr addr, Cycles now, uint32_t tid = 0);
+
+    /**
+     * Spin-lock acquire on @p addr at cycle @p now: the acquiring
+     * atomic's service slot, the L2 handoff of the lock line, and the
+     * convoy spin penalty proportional to the time spent queued
+     * (TimingParams::lock_spin_shift). The word stays serialized until
+     * the returned completion cycle.
+     *
+     * @return Absolute cycle at which the acquirer owns the lock.
+     */
+    Cycles onLockAcquire(Addr addr, Cycles now, uint32_t tid = 0);
 
     /**
      * Extend @p addr's serialization window to @p until. Used by lock
      * release so that the entire critical section — not just the
      * acquiring atomic — serializes across contenders.
      */
-    void holdAddressUntil(Addr addr, Cycles until);
+    void holdAddressUntil(Addr addr, Cycles until, uint32_t tid = 0);
 
     /** Traffic counters accumulated since the last reset(). */
     const MemTrafficStats &stats() const { return stats_; }
@@ -160,10 +209,83 @@ class MemTiming
     /** Cycles the roofline needs to move all recorded traffic. */
     Cycles bandwidthCycles() const;
 
+    // Parallel-engine support -----------------------------------------------
+
+    /**
+     * Start recording TraceEvents for every serialization operation.
+     * Used on block-local instances so the launch-global table can be
+     * updated later, in deterministic rank order.
+     */
+    void setTracing(bool on) { tracing_ = on; }
+
+    /** Move out the trace recorded since the last reset(). */
+    std::vector<TraceEvent> takeTrace() { return std::move(trace_); }
+
+    /** Fold another instance's traffic counters into this one. */
+    void mergeStats(const MemTrafficStats &other);
+
+    /**
+     * Replay one block's serialization trace against this (global)
+     * table, with the block scheduled to start at absolute cycle
+     * @p start.
+     *
+     * Cross-block queueing discovered during the replay is charged as
+     * atomic conflicts/wait cycles here and accumulates into a
+     * per-thread skew: every later local cycle of that thread shifts by
+     * the delay. Lock handoffs are recomputed in full (slot, round
+     * trip, handoff, spin penalty) because the convoy depends on global
+     * queue state. Called once per block, in rank order, by one thread.
+     *
+     * @param start Absolute cycle the block's SM started it.
+     * @param local_end Max local completion cycle over the block's
+     *        threads (used when the trace is empty).
+     * @param events The block's recorded trace.
+     * @param thread_end Per-flat-tid local completion cycles; may be
+     *        empty when @p events is empty.
+     * @return Absolute completion cycle of the block.
+     */
+    Cycles replayBlock(Cycles start, Cycles local_end,
+                       const std::vector<TraceEvent> &events,
+                       const std::vector<Cycles> &thread_end);
+
   private:
+    /**
+     * Claim @p word's next service slot for a request arriving at
+     * @p now: counts the atomic, any queueing conflict and wait cycles,
+     * and leaves the word busy for atomic_service_cycles after the
+     * returned slot start.
+     */
+    Cycles claimSlot(Addr word, Cycles now);
+
+    /** Raise @p word's busy horizon to at least @p until. */
+    void raiseBusy(Addr word, Cycles until);
+
+    /** Current busy horizon of @p word (0 when never touched). */
+    Cycles busyHorizon(Addr word);
+
+    /** Lock convoy model shared by onLockAcquire and the replay. */
+    Cycles lockDoneFromSlot(Cycles slot, Cycles issue) const;
+
+    static constexpr size_t kBusyShards = 16;
+
+    static size_t
+    shardOf(Addr word)
+    {
+        // Fibonacci hash: adjacent words land on different shards.
+        return static_cast<size_t>((word * 0x9e3779b97f4a7c15ull) >> 32) &
+               (kBusyShards - 1);
+    }
+
+    struct alignas(64) BusyShard {
+        std::mutex mu;
+        std::unordered_map<Addr, Cycles> busy;
+    };
+
     TimingParams params_;
     MemTrafficStats stats_;
-    std::unordered_map<Addr, Cycles> busy_until_;
+    std::array<BusyShard, kBusyShards> shards_;
+    bool tracing_ = false;
+    std::vector<TraceEvent> trace_;
 };
 
 } // namespace gpulp

@@ -22,6 +22,7 @@ NvmCache::NvmCache(GlobalMemory &mem, const NvmParams &params)
 void
 NvmCache::onStore(Addr addr, size_t bytes)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     ++stats_.stores_observed;
     Addr first_line = addr / params_.line_bytes;
     Addr last_line = (addr + bytes - 1) / params_.line_bytes;
@@ -31,9 +32,9 @@ NvmCache::onStore(Addr addr, size_t bytes)
         else
             ++stats_.store_misses;
     }
-    if (crash_armed_ && !crash_pending_) {
+    if (crash_armed_ && !crashPending()) {
         if (crash_countdown_ == 0) {
-            crash_pending_ = true;
+            crash_pending_.store(true, std::memory_order_release);
         } else {
             --crash_countdown_;
         }
@@ -43,6 +44,7 @@ NvmCache::onStore(Addr addr, size_t bytes)
 void
 NvmCache::onLoad(Addr addr, size_t bytes)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     Addr first_line = addr / params_.line_bytes;
     Addr last_line = (addr + bytes - 1) / params_.line_bytes;
     for (Addr line = first_line; line <= last_line; ++line) {
@@ -107,6 +109,7 @@ NvmCache::writebackLine(uint64_t tag)
 void
 NvmCache::persistAll()
 {
+    std::lock_guard<std::mutex> lk(mu_);
     // Publish the whole arena (covers host raw() writes that never went
     // through the observer) and clean every line.
     std::memcpy(shadow_.data(), mem_.raw(0), mem_.used());
@@ -121,17 +124,20 @@ NvmCache::persistAll()
 void
 NvmCache::crash()
 {
+    std::lock_guard<std::mutex> lk(mu_);
     // Volatile state is lost: rewind the arena to the NVM image.
     std::memcpy(mem_.raw(0), shadow_.data(), mem_.used());
-    invalidateAll();
+    for (auto &line : lines_)
+        line = Line{};
     crash_armed_ = false;
-    crash_pending_ = false;
+    crash_pending_.store(false, std::memory_order_release);
 }
 
 uint64_t
 NvmCache::flushRange(Addr addr, size_t bytes)
 {
     GPULP_ASSERT(bytes > 0, "empty flush range");
+    std::lock_guard<std::mutex> lk(mu_);
     uint64_t flushed = 0;
     uint64_t first = addr / params_.line_bytes;
     uint64_t last = (addr + bytes - 1) / params_.line_bytes;
@@ -153,6 +159,7 @@ NvmCache::flushRange(Addr addr, size_t bytes)
 void
 NvmCache::invalidateAll()
 {
+    std::lock_guard<std::mutex> lk(mu_);
     for (auto &line : lines_)
         line = Line{};
 }
@@ -160,22 +167,25 @@ NvmCache::invalidateAll()
 void
 NvmCache::crashAfterStores(uint64_t stores)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     crash_armed_ = true;
-    crash_pending_ = false;
+    crash_pending_.store(false, std::memory_order_release);
     crash_countdown_ = stores;
 }
 
 void
 NvmCache::disarmCrash()
 {
+    std::lock_guard<std::mutex> lk(mu_);
     crash_armed_ = false;
-    crash_pending_ = false;
+    crash_pending_.store(false, std::memory_order_release);
 }
 
 bool
 NvmCache::isPersisted(Addr addr, size_t bytes) const
 {
     GPULP_ASSERT(addr + bytes <= shadow_.size(), "isPersisted OOB");
+    std::lock_guard<std::mutex> lk(mu_);
     // Durable iff the NVM image already holds the current contents; a
     // dirty-but-value-equal line is durable content-wise, which is what
     // checksum validation observes after a crash.
@@ -186,19 +196,20 @@ void
 NvmCache::readPersisted(Addr addr, size_t bytes, void *out) const
 {
     GPULP_ASSERT(addr + bytes <= shadow_.size(), "readPersisted OOB");
+    std::lock_guard<std::mutex> lk(mu_);
     std::memcpy(out, shadow_.data() + addr, bytes);
 }
 
 double
 NvmCache::nvmDeviceTimeNs() const
 {
+    NvmStats s = stats();
     double bytes_moved = static_cast<double>(
-        (stats_.nvm_line_reads + stats_.nvmLineWrites()) *
-        params_.line_bytes);
+        (s.nvm_line_reads + s.nvmLineWrites()) * params_.line_bytes);
     double bw_ns = bytes_moved / params_.bandwidth_gbps; // GB/s == B/ns
     double latency_ns =
-        static_cast<double>(stats_.nvm_line_reads) * params_.read_latency_ns +
-        static_cast<double>(stats_.nvmLineWrites()) * params_.write_latency_ns;
+        static_cast<double>(s.nvm_line_reads) * params_.read_latency_ns +
+        static_cast<double>(s.nvmLineWrites()) * params_.write_latency_ns;
     return bw_ns + latency_ns;
 }
 

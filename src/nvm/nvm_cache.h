@@ -28,7 +28,9 @@
 #ifndef GPULP_NVM_NVM_CACHE_H
 #define GPULP_NVM_NVM_CACHE_H
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/zeroed_buffer.h"
@@ -71,6 +73,17 @@ struct NvmStats {
  * Install via GlobalMemory::setObserver. While installed, every typed
  * read/write is tracked; host raw() accesses bypass the model and must
  * be followed by persistAll() if their effects should be durable.
+ *
+ * Thread safety: all observer and persistency entry points serialize
+ * on an internal mutex, because the parallel block engine drives
+ * onStore/onLoad from every worker concurrently. The crash latch is a
+ * lock-free atomic so kernel threads can poll crashPending() on every
+ * device operation without contending. Note that with more than one
+ * worker the *order* in which workers' stores reach the cache is
+ * schedule-dependent, so NvmStats and the set/LRU state are not part
+ * of the deterministic LaunchResult contract (persisted-image
+ * correctness — which lines are dropped at a crash — is maintained
+ * regardless).
  */
 class NvmCache : public MemObserver
 {
@@ -121,8 +134,12 @@ class NvmCache : public MemObserver
     /** Disarm any pending crash trigger. */
     void disarmCrash();
 
-    /** True once the armed store countdown has expired. */
-    bool crashPending() const { return crash_pending_; }
+    /** True once the armed store countdown has expired (lock-free). */
+    bool
+    crashPending() const
+    {
+        return crash_pending_.load(std::memory_order_acquire);
+    }
 
     // Introspection ----------------------------------------------------------
 
@@ -136,10 +153,20 @@ class NvmCache : public MemObserver
     void readPersisted(Addr addr, size_t bytes, void *out) const;
 
     /** Counters since construction or resetStats(). */
-    const NvmStats &stats() const { return stats_; }
+    NvmStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return stats_;
+    }
 
     /** Zero the counters (cache contents are kept). */
-    void resetStats() { stats_ = NvmStats{}; }
+    void
+    resetStats()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_ = NvmStats{};
+    }
 
     /** Model parameters in force. */
     const NvmParams &params() const { return params_; }
@@ -175,8 +202,11 @@ class NvmCache : public MemObserver
     uint64_t tick_ = 0;
     NvmStats stats_;
 
+    /** Guards lines_/shadow_/tick_/stats_ and the crash countdown. */
+    mutable std::mutex mu_;
+
     bool crash_armed_ = false;
-    bool crash_pending_ = false;
+    std::atomic<bool> crash_pending_{false};
     uint64_t crash_countdown_ = 0;
 };
 

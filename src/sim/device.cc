@@ -1,16 +1,20 @@
 #include "device.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <thread>
 #include <vector>
 
 namespace gpulp {
 
 Device::Device(DeviceParams params)
-    : params_(params), mem_(params.arena_bytes), timing_(params.timing),
-      stack_pool_(params.fiber_stack_bytes)
+    : params_(params), mem_(params.arena_bytes), timing_(params.timing)
 {
 }
+
+Device::~Device() = default;
 
 void
 Device::attachNvm(NvmCache *nvm)
@@ -19,12 +23,48 @@ Device::attachNvm(NvmCache *nvm)
     mem_.setObserver(nvm);
 }
 
-Cycles
-Device::runBlock(const LaunchConfig &cfg, Dim3 block_idx, Cycles start,
-                 const KernelFn &kernel, bool *crashed)
+void
+Device::addOrderedRegion(Addr base, size_t bytes)
 {
-    BlockState state(mem_, timing_, nvm_, block_idx, cfg, start,
-                     params_.shared_bytes);
+    GPULP_ASSERT(bytes > 0, "empty ordered region");
+    ordered_regions_.emplace_back(base, base + bytes);
+}
+
+void
+Device::clearOrderedRegions()
+{
+    ordered_regions_.clear();
+}
+
+uint32_t
+Device::resolveWorkers() const
+{
+    uint32_t w = params_.num_workers;
+    if (w == 0) {
+        if (const char *env = std::getenv("GPULP_WORKERS")) {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(env, &end, 10);
+            if (end != env && *end == '\0' && v > 0 && v <= 1024)
+                w = static_cast<uint32_t>(v);
+        }
+    }
+    if (w == 0) {
+        w = std::thread::hardware_concurrency();
+        if (w == 0)
+            w = 1;
+    }
+    return w;
+}
+
+void
+Device::runBlockLocal(const LaunchConfig &cfg, uint64_t rank,
+                      const KernelFn &kernel, WorkerState &ws,
+                      RankGate *gate, BlockOutcome &out)
+{
+    ws.timing.reset();
+    Dim3 block_idx = cfg.blockIdxOf(rank);
+    BlockState state(mem_, ws.timing, nvm_, block_idx, cfg, /*start=*/0,
+                     params_.shared_bytes, gate, rank, &ordered_regions_);
     const uint32_t n = state.numThreads();
 
     std::vector<ThreadCtx> ctxs;
@@ -53,14 +93,17 @@ Device::runBlock(const LaunchConfig &cfg, Dim3 block_idx, Cycles start,
                     GPULP_PANIC("kernel thread threw: %s", e.what());
                 }
             },
-            &stack_pool_));
+            &ws.stacks));
     }
 
     // Round-robin scheduling with deadlock detection: a full pass in
-    // which nothing arrives, releases or exits means the block can
-    // never make progress (e.g. a barrier some threads skipped).
+    // which nothing arrives, releases or exits means the block cannot
+    // progress on its own. If threads are parked on the rank gate the
+    // block is waiting for lower ranks, not deadlocked — park the
+    // worker until the frontier moves (or a crash latches) and rescan.
     while (state.liveThreads() > 0) {
         uint64_t before = state.progress();
+        state.resetGateStall();
         for (uint32_t t = 0; t < n; ++t) {
             if (fibers[t]->finished())
                 continue;
@@ -69,6 +112,12 @@ Device::runBlock(const LaunchConfig &cfg, Dim3 block_idx, Cycles start,
                 state.onThreadExit(ctxs[t]);
         }
         if (state.liveThreads() > 0 && state.progress() == before) {
+            if (gate != nullptr && state.gateStalledThreads() > 0) {
+                gate->awaitLeader(rank, [this] {
+                    return nvm_ != nullptr && nvm_->crashPending();
+                });
+                continue;
+            }
             GPULP_PANIC("thread block (%u,%u,%u) deadlocked: %u threads "
                         "waiting on a collective that cannot release",
                         block_idx.x, block_idx.y, block_idx.z,
@@ -76,13 +125,32 @@ Device::runBlock(const LaunchConfig &cfg, Dim3 block_idx, Cycles start,
         }
     }
 
-    if (block_crashed)
-        *crashed = true;
-
-    Cycles end = start;
+    out.crashed = block_crashed;
+    Cycles end = 0;
     for (const ThreadCtx &ctx : ctxs)
         end = std::max(end, ctx.now());
-    return end;
+    out.local_end = end;
+    out.stats = ws.timing.stats();
+    out.events = ws.timing.takeTrace();
+    if (!out.events.empty()) {
+        out.thread_end.resize(n);
+        for (uint32_t t = 0; t < n; ++t)
+            out.thread_end[t] = ctxs[t].now();
+    }
+}
+
+void
+Device::commitOutcome(BlockOutcome &out, std::vector<Cycles> &sm_free,
+                      LaunchResult &result)
+{
+    // Greedy schedule: each block goes to the SM that frees up first.
+    // With rank-order commit this is round-robin over the first wave
+    // and earliest-finish-first afterwards.
+    auto sm = std::min_element(sm_free.begin(), sm_free.end());
+    *sm = timing_.replayBlock(*sm, out.local_end, out.events,
+                              out.thread_end);
+    timing_.mergeStats(out.stats);
+    ++result.blocks_completed;
 }
 
 LaunchResult
@@ -94,29 +162,72 @@ Device::launch(const LaunchConfig &cfg, const KernelFn &kernel)
     const uint64_t num_blocks = cfg.numBlocks();
     GPULP_ASSERT(num_blocks > 0, "empty grid");
 
-    // Greedy schedule: each block goes to the SM that frees up first.
-    // With rank-order execution this is round-robin over the first
-    // wave and earliest-finish-first afterwards.
-    std::vector<Cycles> sm_free(params_.timing.num_sms, 0);
+    const uint32_t workers = static_cast<uint32_t>(
+        std::min<uint64_t>(resolveWorkers(), num_blocks));
 
-    LaunchResult result;
-    for (uint64_t rank = 0; rank < num_blocks; ++rank) {
-        if (nvm_ && nvm_->crashPending()) {
-            result.crashed = true;
-            break;
-        }
-        auto sm = std::min_element(sm_free.begin(), sm_free.end());
-        bool crashed = false;
-        Cycles end =
-            runBlock(cfg, cfg.blockIdxOf(rank), *sm, kernel, &crashed);
-        if (crashed) {
-            result.crashed = true;
-            break;
-        }
-        *sm = end;
-        ++result.blocks_completed;
+    while (worker_states_.size() < workers) {
+        worker_states_.push_back(std::make_unique<WorkerState>(
+            params_.timing, params_.fiber_stack_bytes));
     }
 
+    RankGate gate(num_blocks, workers);
+    RankGate *gate_ptr = params_.strict_atomic_order ? &gate : nullptr;
+
+    std::vector<Cycles> sm_free(params_.timing.num_sms, 0);
+    LaunchResult result;
+
+    if (workers == 1) {
+        // Legacy path: run and commit each block on the calling
+        // thread. Identical numbers to the pooled path — same
+        // local-execution + rank-order replay pipeline.
+        WorkerState &ws = *worker_states_[0];
+        for (uint64_t rank = 0; rank < num_blocks; ++rank) {
+            if (nvm_ && nvm_->crashPending())
+                break;
+            BlockOutcome out;
+            runBlockLocal(cfg, rank, kernel, ws, gate_ptr, out);
+            if (out.crashed)
+                break;
+            gate.complete(rank);
+            commitOutcome(out, sm_free, result);
+        }
+    } else {
+        if (!pool_)
+            pool_ = std::make_unique<ThreadPool>();
+
+        std::vector<BlockOutcome> outcomes(num_blocks);
+        std::atomic<uint64_t> next_rank{0};
+
+        pool_->dispatch(workers, [&](uint32_t worker_id) {
+            WorkerState &ws = *worker_states_[worker_id];
+            for (;;) {
+                if (nvm_ && nvm_->crashPending())
+                    break;
+                uint64_t rank =
+                    next_rank.fetch_add(1, std::memory_order_relaxed);
+                if (rank >= num_blocks)
+                    break;
+                BlockOutcome &out = outcomes[rank];
+                runBlockLocal(cfg, rank, kernel, ws, gate_ptr, out);
+                if (out.crashed)
+                    break;
+                gate.complete(rank);
+            }
+            gate.workerDone();
+        });
+
+        // Consume the contiguous completed prefix in rank order while
+        // workers produce; stops early when a crash aborts the grid.
+        for (uint64_t rank = 0; rank < num_blocks; ++rank) {
+            if (!gate.awaitCompleted(rank))
+                break;
+            commitOutcome(outcomes[rank], sm_free, result);
+            outcomes[rank] = BlockOutcome{}; // release trace memory
+        }
+        pool_->wait();
+    }
+
+    result.crashed = result.blocks_completed < num_blocks;
     result.critical_path =
         *std::max_element(sm_free.begin(), sm_free.end());
     result.bandwidth_cycles = timing_.bandwidthCycles();

@@ -25,12 +25,14 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "fiber/fiber.h"
 #include "mem/memory.h"
 #include "mem/timing.h"
 #include "nvm/nvm_cache.h"
 #include "sim/exec.h"
+#include "sim/thread_pool.h"
 #include "sim/types.h"
 
 namespace gpulp {
@@ -43,6 +45,24 @@ struct DeviceParams {
     size_t arena_bytes = 256 * 1024 * 1024; //!< global-memory capacity
     size_t shared_bytes = 96 * 1024;        //!< shared memory per block
     size_t fiber_stack_bytes = 64 * 1024;   //!< stack per simulated thread
+
+    /**
+     * Host worker threads executing thread blocks concurrently.
+     * 0 = auto: the GPULP_WORKERS environment variable if set, else
+     * hardware_concurrency. 1 = legacy single-threaded execution on
+     * the launching thread. Results are bit-identical at any value.
+     */
+    uint32_t num_workers = 0;
+
+    /**
+     * Serialize ordering-sensitive accesses (global atomics, declared
+     * ordered regions) in block-rank order so functional results are
+     * deterministic across worker counts. Disabling removes the rank
+     * gate: embarrassingly parallel workloads are unaffected, but
+     * cross-block atomic results become schedule-dependent.
+     */
+    bool strict_atomic_order = true;
+
     TimingParams timing;                    //!< timing model parameters
 };
 
@@ -57,14 +77,26 @@ struct LaunchResult {
 };
 
 /**
- * A simulated GPU. Single-threaded; blocks execute functionally in
- * rank order while the timing model accounts for their parallel
- * schedule across SMs.
+ * A simulated GPU.
+ *
+ * Blocks execute functionally on a pool of host workers
+ * (DeviceParams::num_workers), each against its own block-local timing
+ * table with the block starting at local cycle 0; serialization events
+ * are recorded as a trace. The launching thread then commits blocks in
+ * rank order — greedy SM schedule, trace replay against the global
+ * per-address table, traffic merge — so LaunchResult is bit-identical
+ * at any worker count. Cross-block *functional* order (atomic return
+ * values, CAS winners, declared ordered regions) is enforced by a
+ * RankGate: a block's first ordering-sensitive access waits until all
+ * lower ranks completed. Blocks without such accesses — the paper's
+ * collision-free global-array store — never gate and scale freely.
  */
 class Device
 {
   public:
     explicit Device(DeviceParams params = DeviceParams{});
+
+    ~Device();
 
     /** Global memory arena. */
     GlobalMemory &mem() { return mem_; }
@@ -103,26 +135,71 @@ class Device
     /** Total kernel launches performed (for tests/stats). */
     uint64_t launchCount() const { return launch_count_; }
 
+    /** Worker count the next launch will use (after env/auto resolution). */
+    uint32_t resolveWorkers() const;
+
+    /**
+     * Declare [base, base+bytes) as an ordered region: plain loads and
+     * stores to it observe block-rank order under the parallel engine.
+     * Workloads declare their racy-by-design structures (MEGA-KV's key
+     * table, lock-free cuckoo slots) so results stay deterministic;
+     * collision-free structures need no declaration and run ungated.
+     */
+    void addOrderedRegion(Addr base, size_t bytes);
+
+    /** Drop all declared ordered regions. */
+    void clearOrderedRegions();
+
   private:
     /**
-     * Run one thread block to completion (or crash) on fibers.
-     *
-     * @param cfg Launch configuration.
-     * @param block_idx Index of the block in the grid.
-     * @param start Cycle at which the block's SM became free.
-     * @param kernel The kernel body.
-     * @param crashed Out: set when the block aborted on injected crash.
-     * @return Block completion cycle (max over its threads).
+     * Per-worker reusable execution state. Each worker owns its own
+     * fiber stack pool (StackPool is not thread-safe) and its own
+     * block-local MemTiming with tracing enabled.
      */
-    Cycles runBlock(const LaunchConfig &cfg, Dim3 block_idx, Cycles start,
-                    const KernelFn &kernel, bool *crashed);
+    struct WorkerState {
+        MemTiming timing;
+        StackPool stacks;
+
+        WorkerState(const TimingParams &tp, size_t stack_bytes)
+            : timing(tp), stacks(stack_bytes)
+        {
+            timing.setTracing(true);
+        }
+    };
+
+    /** Everything one block's execution produced, pending rank commit. */
+    struct BlockOutcome {
+        bool crashed = false;
+        Cycles local_end = 0;               //!< max thread-local cycle
+        std::vector<TraceEvent> events;     //!< serialization trace
+        std::vector<Cycles> thread_end;     //!< per-tid local end (traced)
+        MemTrafficStats stats;              //!< block-local traffic
+    };
+
+    /**
+     * Run one thread block to completion (or crash) on fibers, against
+     * @p ws's block-local timing, starting at local cycle 0.
+     */
+    void runBlockLocal(const LaunchConfig &cfg, uint64_t rank,
+                       const KernelFn &kernel, WorkerState &ws,
+                       RankGate *gate, BlockOutcome &out);
+
+    /**
+     * Commit @p out at the next free SM in rank order: replay its
+     * trace into the global timing table and merge its traffic.
+     */
+    void commitOutcome(BlockOutcome &out, std::vector<Cycles> &sm_free,
+                       LaunchResult &result);
 
     DeviceParams params_;
     GlobalMemory mem_;
     MemTiming timing_;
     NvmCache *nvm_ = nullptr;
-    StackPool stack_pool_;
     uint64_t launch_count_ = 0;
+
+    OrderedRegions ordered_regions_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<std::unique_ptr<WorkerState>> worker_states_;
 };
 
 } // namespace gpulp

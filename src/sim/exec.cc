@@ -13,9 +13,12 @@ namespace gpulp {
 
 BlockState::BlockState(GlobalMemory &mem, MemTiming &timing, NvmCache *nvm,
                        Dim3 block_idx, const LaunchConfig &cfg, Cycles start,
-                       size_t shared_bytes)
+                       size_t shared_bytes, RankGate *gate, uint64_t rank,
+                       const OrderedRegions *ordered)
     : mem_(mem), timing_(timing), nvm_(nvm), block_idx_(block_idx),
-      cfg_(cfg), start_(start), num_threads_(cfg.threadsPerBlock()),
+      cfg_(cfg), start_(start), gate_(gate), rank_(rank),
+      ordered_(ordered != nullptr && !ordered->empty() ? ordered : nullptr),
+      num_threads_(cfg.threadsPerBlock()),
       num_warps_((num_threads_ + kWarpSize - 1) / kWarpSize),
       live_(num_threads_), warps_(num_warps_), shared_(shared_bytes, 0)
 {
@@ -60,6 +63,22 @@ BlockState::sharedSlot(uint32_t slot_id, size_t bytes)
     shared_next_ = aligned + bytes;
     shared_slots_.emplace(slot_id, aligned);
     return aligned;
+}
+
+void
+BlockState::gateOrdering()
+{
+    if (gate_leader_ || gate_ == nullptr)
+        return;
+    while (!gate_->isLeader(rank_)) {
+        checkCrash();
+        // Not a progress event: the runner distinguishes "stalled on
+        // the rank gate" (park until the frontier advances) from a
+        // genuine intra-block deadlock via this counter.
+        ++gate_stall_;
+        Fiber::yield();
+    }
+    gate_leader_ = true;
 }
 
 void
@@ -117,10 +136,15 @@ uint64_t
 ThreadCtx::atomicCAS64(Addr addr, uint64_t compare, uint64_t value)
 {
     block_.checkCrash();
-    uint64_t old = block_.mem_.read<uint64_t>(addr);
-    if (old == compare)
-        block_.mem_.write<uint64_t>(addr, value);
-    cycles_ = block_.timing_.onAtomic(addr, cycles_);
+    block_.gateOrdering();
+    uint64_t old;
+    {
+        std::lock_guard<std::mutex> lk(block_.mem_.rmwMutex(addr));
+        old = block_.mem_.read<uint64_t>(addr);
+        if (old == compare)
+            block_.mem_.write<uint64_t>(addr, value);
+    }
+    cycles_ = block_.timing_.onAtomic(addr, cycles_, flat_tid_);
     return old;
 }
 
@@ -134,9 +158,14 @@ uint64_t
 ThreadCtx::atomicExch64(Addr addr, uint64_t value)
 {
     block_.checkCrash();
-    uint64_t old = block_.mem_.read<uint64_t>(addr);
-    block_.mem_.write<uint64_t>(addr, value);
-    cycles_ = block_.timing_.onAtomic(addr, cycles_);
+    block_.gateOrdering();
+    uint64_t old;
+    {
+        std::lock_guard<std::mutex> lk(block_.mem_.rmwMutex(addr));
+        old = block_.mem_.read<uint64_t>(addr);
+        block_.mem_.write<uint64_t>(addr, value);
+    }
+    cycles_ = block_.timing_.onAtomic(addr, cycles_, flat_tid_);
     return old;
 }
 
@@ -150,9 +179,14 @@ float
 ThreadCtx::atomicAddF(Addr addr, float delta)
 {
     block_.checkCrash();
-    float old = block_.mem_.read<float>(addr);
-    block_.mem_.write<float>(addr, old + delta);
-    cycles_ = block_.timing_.onAtomic(addr, cycles_);
+    block_.gateOrdering();
+    float old;
+    {
+        std::lock_guard<std::mutex> lk(block_.mem_.rmwMutex(addr));
+        old = block_.mem_.read<float>(addr);
+        block_.mem_.write<float>(addr, old + delta);
+    }
+    cycles_ = block_.timing_.onAtomic(addr, cycles_, flat_tid_);
     return old;
 }
 
@@ -195,25 +229,13 @@ void
 ThreadCtx::lockAcquire(Addr addr)
 {
     block_.checkCrash();
-    // Functionally the lock is always free (blocks run one at a time on
-    // the host); the *queueing delay* of contenders is modelled by the
-    // per-address serialization window, which lockRelease() extends to
-    // cover the whole critical section.
+    block_.gateOrdering();
+    // Functionally the lock is always free by the time this block may
+    // touch it (rank ordering); the *queueing delay* of contenders is
+    // modelled by MemTiming's serialization window, which
+    // lockRelease() extends to cover the whole critical section.
     block_.mem_.write<uint32_t>(addr, 1);
-    Cycles issued = cycles_;
-    Cycles done = block_.timing_.onAtomic(addr, cycles_);
-    const TimingParams &p = block_.timing_.params();
-    done += p.lock_handoff_cycles;
-    // Convoy effect: the backlog this acquirer sat in measures how many
-    // warps are spinning on the lock line; their traffic slows the
-    // handoff itself (see TimingParams::lock_spin_shift).
-    Cycles wait = done - issued;
-    Cycles spin_penalty = std::min<Cycles>(wait >> p.lock_spin_shift,
-                                           p.lock_spin_cap_cycles);
-    done += spin_penalty;
-    cycles_ = done;
-    // Nobody else can take the lock while the handoff is in flight.
-    block_.timing_.holdAddressUntil(addr, done);
+    cycles_ = block_.timing_.onLockAcquire(addr, cycles_, flat_tid_);
 }
 
 void
@@ -222,7 +244,7 @@ ThreadCtx::lockRelease(Addr addr)
     block_.checkCrash();
     block_.mem_.write<uint32_t>(addr, 0);
     cycles_ += block_.timing_.params().global_issue_cycles;
-    block_.timing_.holdAddressUntil(addr, cycles_);
+    block_.timing_.holdAddressUntil(addr, cycles_, flat_tid_);
 }
 
 void

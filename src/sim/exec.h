@@ -29,11 +29,23 @@
 #include "mem/memory.h"
 #include "mem/timing.h"
 #include "nvm/nvm_cache.h"
+#include "sim/thread_pool.h"
 #include "sim/types.h"
 
 namespace gpulp {
 
 class ThreadCtx;
+
+/**
+ * Half-open [base, end) device address ranges whose plain loads/stores
+ * must observe rank order under the parallel engine. Workloads declare
+ * them (via Device::addOrderedRegion) for data structures that are
+ * racy by design — e.g. MEGA-KV's optimistic pre-check load before its
+ * CAS — so functional results stay bit-identical at any worker count.
+ * The paper's collision-free global-array store needs none: disjoint
+ * per-block slots are what make it scale.
+ */
+using OrderedRegions = std::vector<std::pair<Addr, Addr>>;
 
 /** Collective-exchange state for one warp. */
 struct WarpState {
@@ -65,10 +77,15 @@ class BlockState
      * @param cfg The launch configuration.
      * @param start Absolute cycle at which this block's SM started it.
      * @param shared_bytes Shared-memory capacity for the block.
+     * @param gate Rank gate serializing ordering-sensitive accesses, or
+     *        nullptr to run ungated (single worker / relaxed order).
+     * @param rank This block's flat rank in the grid.
+     * @param ordered Declared ordered regions, or nullptr.
      */
     BlockState(GlobalMemory &mem, MemTiming &timing, NvmCache *nvm,
                Dim3 block_idx, const LaunchConfig &cfg, Cycles start,
-               size_t shared_bytes);
+               size_t shared_bytes, RankGate *gate = nullptr,
+               uint64_t rank = 0, const OrderedRegions *ordered = nullptr);
 
     BlockState(const BlockState &) = delete;
     BlockState &operator=(const BlockState &) = delete;
@@ -99,7 +116,49 @@ class BlockState
     /** Raw pointer into the shared arena. */
     char *sharedRaw(size_t offset) { return shared_.data() + offset; }
 
+    // Rank-gate plumbing for the parallel engine ----------------------------
+
+    /** This block's flat rank in the grid. */
+    uint64_t rank() const { return rank_; }
+
+    /** Threads that yielded on the rank gate in the current pass. */
+    uint32_t gateStalledThreads() const { return gate_stall_; }
+
+    /** Clear the per-pass gate-stall counter (runner, each pass). */
+    void resetGateStall() { gate_stall_ = 0; }
+
+    /** The launch's rank gate, or nullptr when ungated. */
+    RankGate *gate() { return gate_; }
+
+    /**
+     * Block until this block is the rank leader (every lower rank has
+     * completed). First ordering-sensitive access of the block pays
+     * this once; leadership is kept until the block completes. Yields
+     * the calling fiber while waiting; throws SimCrash if a crash
+     * latches meanwhile.
+     */
+    void gateOrdering();
+
+    /** True when @p addr must wait for rank leadership first. */
+    bool
+    mustOrder(Addr addr, size_t bytes) const
+    {
+        return gate_ != nullptr && !gate_leader_ && ordered_ != nullptr &&
+               inOrderedRegion(addr, bytes);
+    }
+
   private:
+    /** True when [addr, addr+bytes) overlaps a declared ordered region. */
+    bool
+    inOrderedRegion(Addr addr, size_t bytes) const
+    {
+        for (const auto &[lo, hi] : *ordered_) {
+            if (addr < hi && addr + bytes > lo)
+                return true;
+        }
+        return false;
+    }
+
     friend class ThreadCtx;
     friend class BlockRunner;
 
@@ -123,6 +182,12 @@ class BlockState
     Dim3 block_idx_;
     LaunchConfig cfg_;
     Cycles start_;
+
+    RankGate *gate_;
+    uint64_t rank_;
+    const OrderedRegions *ordered_;
+    bool gate_leader_ = false;
+    uint32_t gate_stall_ = 0;
 
     uint32_t num_threads_;
     uint32_t num_warps_;
@@ -263,6 +328,8 @@ class ThreadCtx
     loadAddr(Addr addr)
     {
         block_.checkCrash();
+        if (block_.mustOrder(addr, sizeof(T)))
+            block_.gateOrdering();
         cycles_ += block_.timing_.onGlobalLoad(sizeof(T));
         return block_.mem_.read<T>(addr);
     }
@@ -273,6 +340,8 @@ class ThreadCtx
     storeAddr(Addr addr, T value)
     {
         block_.checkCrash();
+        if (block_.mustOrder(addr, sizeof(T)))
+            block_.gateOrdering();
         cycles_ += block_.timing_.onGlobalStore(sizeof(T));
         block_.mem_.write<T>(addr, value);
     }
@@ -405,11 +474,18 @@ class ThreadCtx
     rmw32(Addr addr, Op &&op)
     {
         block_.checkCrash();
-        uint32_t old = block_.mem_.read<uint32_t>(addr);
-        uint32_t next = op(old);
-        if (next != old)
-            block_.mem_.write<uint32_t>(addr, next);
-        cycles_ = block_.timing_.onAtomic(addr, cycles_);
+        block_.gateOrdering();
+        uint32_t old, next;
+        {
+            // Host-atomic RMW: relevant only in relaxed-order mode,
+            // where concurrent blocks may race on one word.
+            std::lock_guard<std::mutex> lk(block_.mem_.rmwMutex(addr));
+            old = block_.mem_.read<uint32_t>(addr);
+            next = op(old);
+            if (next != old)
+                block_.mem_.write<uint32_t>(addr, next);
+        }
+        cycles_ = block_.timing_.onAtomic(addr, cycles_, flat_tid_);
         return old;
     }
 

@@ -1,0 +1,151 @@
+#include "thread_pool.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace gpulp {
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        GPULP_ASSERT(job_active_ == 0, "pool destroyed with a job running");
+        shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::ensureThreads(uint32_t width)
+{
+    // Callers hold mu_.
+    while (threads_.size() < width) {
+        uint32_t id = static_cast<uint32_t>(threads_.size());
+        threads_.emplace_back([this, id] { workerMain(id); });
+    }
+}
+
+void
+ThreadPool::dispatch(uint32_t width, std::function<void(uint32_t)> fn)
+{
+    GPULP_ASSERT(width > 0, "empty dispatch");
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        GPULP_ASSERT(job_active_ == 0, "dispatch while a job is running");
+        ensureThreads(width);
+        job_ = std::move(fn);
+        job_width_ = width;
+        job_active_ = width;
+        ++job_generation_;
+    }
+    cv_work_.notify_all();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] { return job_active_ == 0; });
+    job_ = nullptr;
+}
+
+void
+ThreadPool::workerMain(uint32_t worker_id)
+{
+    uint64_t seen_generation = 0;
+    for (;;) {
+        std::function<void(uint32_t)> fn;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_work_.wait(lk, [&] {
+                return shutdown_ || (job_generation_ != seen_generation &&
+                                     worker_id < job_width_);
+            });
+            if (shutdown_)
+                return;
+            seen_generation = job_generation_;
+            fn = job_; // shared target; call outside the lock
+        }
+        fn(worker_id);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            GPULP_ASSERT(job_active_ > 0, "job accounting underflow");
+            --job_active_;
+        }
+        cv_done_.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// RankGate
+// ---------------------------------------------------------------------
+
+RankGate::RankGate(uint64_t num_blocks, uint32_t num_workers)
+    : done_(num_blocks, 0), workers_active_(num_workers)
+{
+}
+
+bool
+RankGate::awaitLeader(uint64_t rank, const std::function<bool()> &aborted)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        if (frontier_ == rank)
+            return true;
+        if (aborted())
+            return false;
+        // Bounded wait so an abort latch flipped outside the gate's
+        // lock (crash injection) is observed promptly.
+        cv_.wait_for(lk, std::chrono::milliseconds(1));
+    }
+}
+
+void
+RankGate::complete(uint64_t rank)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        GPULP_ASSERT(rank < done_.size(), "rank out of range");
+        GPULP_ASSERT(!done_[rank], "rank completed twice");
+        done_[rank] = 1;
+        while (frontier_ < done_.size() && done_[frontier_])
+            ++frontier_;
+        frontier_fast_.store(frontier_, std::memory_order_release);
+    }
+    cv_.notify_all();
+}
+
+bool
+RankGate::awaitCompleted(uint64_t rank)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return frontier_ > rank || workers_active_ == 0; });
+    return frontier_ > rank;
+}
+
+void
+RankGate::workerDone()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        GPULP_ASSERT(workers_active_ > 0, "worker accounting underflow");
+        --workers_active_;
+    }
+    cv_.notify_all();
+}
+
+uint64_t
+RankGate::frontier() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return frontier_;
+}
+
+} // namespace gpulp

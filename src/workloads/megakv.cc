@@ -17,6 +17,17 @@ MegaKv::MegaKv(Device &dev, uint32_t buckets, uint32_t batch_ops)
     op_keys_ = ArrayRef<uint32_t>::allocate(dev.mem(), batch_ops_);
     op_values_ = ArrayRef<uint32_t>::allocate(dev.mem(), batch_ops_);
     results_ = ArrayRef<uint32_t>::allocate(dev.mem(), batch_ops_);
+    // The insert kernel pre-checks a bucket slot with a plain load
+    // before claiming it with atomicCAS, and values travel with plain
+    // stores; erase clears slots plainly. Which block wins a contended
+    // bucket is therefore schedule-dependent unless the table follows
+    // block-rank order: declare both halves ordered so functional
+    // results stay bit-identical at any worker count. The per-op
+    // arrays (op_keys_/op_values_/results_) are indexed by global
+    // thread id — never shared across blocks — and stay ungated.
+    dev.addOrderedRegion(keys_.base(), keys_.size() * sizeof(uint32_t));
+    dev.addOrderedRegion(values_.base(),
+                         values_.size() * sizeof(uint32_t));
 }
 
 LaunchConfig

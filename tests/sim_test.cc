@@ -6,6 +6,7 @@
  */
 
 #include <algorithm>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -33,9 +34,13 @@ TEST(SimTest, BlockAndThreadIndicesDecomposeCorrectly)
 {
     Device dev;
     LaunchConfig cfg(Dim3(2, 3, 4), Dim3(8));
+    // Kernel bodies run on the parallel block workers, so host-side
+    // captures mutated by more than one block need their own lock.
+    std::mutex mu;
     std::set<std::tuple<uint32_t, uint32_t, uint32_t>> seen;
     dev.launch(cfg, [&](ThreadCtx &t) {
         if (t.flatThreadIdx() == 0) {
+            std::lock_guard<std::mutex> lk(mu);
             seen.insert({t.blockIdx().x, t.blockIdx().y, t.blockIdx().z});
             EXPECT_EQ(t.gridDim().count(), 24u);
             EXPECT_EQ(t.blockDim().x, 8u);

@@ -50,6 +50,38 @@ orderedIntToDouble(uint64_t bits)
     return std::bit_cast<double>(bits);
 }
 
+/**
+ * Ordered-int bits of a float as folded into LP checksums.
+ *
+ * floatToOrderedInt() is a raw bit reinterpretation, which is the right
+ * tool for transport (shuffles, exact-bit stores) but the wrong one for
+ * checksumming: IEEE 754 has two zeros, +0.0f (0x00000000) and -0.0f
+ * (0x80000000), that compare equal yet differ in the sign bit. A
+ * recovery re-execution that legitimately produces the other zero (e.g.
+ * a product with operands in a different sign order) would then fold a
+ * different parity word and falsely fail validation. All checksum fold
+ * sites use this helper, which canonicalizes -0.0f to +0.0f.
+ *
+ * NaN policy: NaN payloads are folded verbatim. The workloads never
+ * produce NaNs, and unlike the two zeros distinct NaN encodings are not
+ * required to compare equal, so collapsing them would only mask real
+ * mantissa corruption in a persisted NaN.
+ */
+constexpr uint32_t
+floatToChecksumBits(float value)
+{
+    uint32_t bits = floatToOrderedInt(value);
+    return bits == 0x80000000u ? 0u : bits;
+}
+
+/** 64-bit analogue of floatToChecksumBits(): -0.0 folds as +0.0. */
+constexpr uint64_t
+doubleToChecksumBits(double value)
+{
+    uint64_t bits = doubleToOrderedInt(value);
+    return bits == 0x8000000000000000ull ? 0ull : bits;
+}
+
 /** Extract the sign bit of a float (0 or 1). */
 constexpr uint32_t
 floatSignBit(float value)

@@ -33,7 +33,9 @@ ChecksumAccum::protectU32(ThreadCtx &t, uint32_t bits)
 void
 ChecksumAccum::protectFloat(ThreadCtx &t, float value)
 {
-    protectU32(t, floatToOrderedInt(value));
+    // Canonicalized so that a recovery re-execution producing the other
+    // IEEE zero still folds the same parity (see floatToChecksumBits).
+    protectU32(t, floatToChecksumBits(value));
 }
 
 void

@@ -94,7 +94,7 @@ class ChecksumAccum
     void
     foldHostFloat(float value)
     {
-        foldHost(floatToOrderedInt(value));
+        foldHost(floatToChecksumBits(value));
     }
 
     /** Current checksum pair. */

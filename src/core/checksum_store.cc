@@ -477,6 +477,7 @@ GlobalArrayStore::GlobalArrayStore(Device &dev, uint64_t num_keys)
 {
     GPULP_ASSERT(num_keys_ > 0, "empty global array store");
     slots_ = dev_.mem().alloc(num_keys_ * 8);
+    valid_ = dev_.mem().alloc(num_keys_);
     clear();
 }
 
@@ -488,38 +489,53 @@ GlobalArrayStore::slotAddr(uint32_t key) const
     return slots_ + static_cast<Addr>(key) * 8;
 }
 
+Addr
+GlobalArrayStore::validAddr(uint32_t key) const
+{
+    GPULP_ASSERT(key < num_keys_, "key %u beyond %llu array slots", key,
+                 static_cast<unsigned long long>(num_keys_));
+    return valid_ + static_cast<Addr>(key);
+}
+
 void
 GlobalArrayStore::insert(ThreadCtx &t, uint32_t key, Checksums cs)
 {
     bump(stats_.inserts);
     // No key, no probe, no atomic: the block ID is the slot index, so
-    // insertion is two plain stores (Sec. V).
+    // insertion is two plain stores (Sec. V) plus the occupancy byte.
+    // The valid flag is out-of-band rather than an in-band sentinel so
+    // that *every* 64-bit payload — including {0xffffffff, 0xffffffff}
+    // — is a legal checksum. Exactly one thread owns each key, so a
+    // plain byte store suffices and nothing rank-gates.
     t.storeAddr<uint32_t>(slotAddr(key), cs.sum);
     t.storeAddr<uint32_t>(slotAddr(key) + 4, cs.parity);
+    t.storeAddr<uint8_t>(validAddr(key), 1);
 }
 
 bool
 GlobalArrayStore::lookup(uint32_t key, Checksums *out) const
 {
     const GlobalMemory &mem = dev_.mem();
+    // Occupancy is tracked out-of-band: a slot counts only once its
+    // valid byte persisted. If a crash persists the payload but not
+    // the flag (or vice versa) the block merely re-validates as failed
+    // and is re-executed — safe in both orders.
+    uint8_t flag;
+    std::memcpy(&flag, mem.raw(validAddr(key)), 1);
+    if (!flag)
+        return false;
     const char *entry = mem.raw(slotAddr(key));
     std::memcpy(&out->sum, entry, 4);
     std::memcpy(&out->parity, entry + 4, 4);
-    // A never-written slot still holds the initialization sentinel.
-    return !(out->sum == kUnwrittenChecksum &&
-             out->parity == kUnwrittenChecksum);
+    return true;
 }
 
 void
 GlobalArrayStore::clear()
 {
     GlobalMemory &mem = dev_.mem();
-    for (uint64_t key = 0; key < num_keys_; ++key) {
-        char *entry = mem.raw(slots_ + key * 8);
-        uint32_t sentinel = kUnwrittenChecksum;
-        std::memcpy(entry, &sentinel, 4);
-        std::memcpy(entry + 4, &sentinel, 4);
-    }
+    std::memset(mem.raw(slots_), 0, num_keys_ * 8);
+    std::memset(mem.raw(valid_), 0, num_keys_);
     stats_ = StoreStats{};
 }
 

@@ -47,7 +47,17 @@ namespace gpulp {
 /** Key slot value marking an empty hashed-table entry. */
 constexpr uint32_t kEmptyKey = 0xffffffffu;
 
-/** Sentinel marking a never-written global-array slot. */
+/**
+ * Historical sentinel that marked a never-written global-array slot.
+ *
+ * Using an in-band payload value for "never written" is ambiguous: a
+ * region whose true sum *and* parity both fold to 0xffffffff would be
+ * indistinguishable from an unwritten slot, and validation would
+ * mis-mark a healthy block as failed. GlobalArrayStore therefore keeps
+ * an out-of-band valid byte per slot and treats every payload value —
+ * including this one — as legal. The constant remains only so tests
+ * can construct the worst-case payload.
+ */
 constexpr uint32_t kUnwrittenChecksum = 0xffffffffu;
 
 /** Insertion/collision counters for one store (Table II). */
@@ -208,15 +218,17 @@ class GlobalArrayStore : public ChecksumStore
     bool lookup(uint32_t key, Checksums *out) const override;
     void clear() override;
     uint64_t capacity() const override { return num_keys_; }
-    uint64_t footprintBytes() const override { return num_keys_ * 8; }
+    uint64_t footprintBytes() const override { return num_keys_ * 9; }
     const char *name() const override { return "array"; }
 
   private:
     Addr slotAddr(uint32_t key) const;
+    Addr validAddr(uint32_t key) const;
 
     Device &dev_;
     uint64_t num_keys_;
     Addr slots_; //!< num_keys x {sum, parity}
+    Addr valid_; //!< num_keys x uint8 occupancy flags
 };
 
 /** Construct the store selected by @p cfg for @p num_keys regions. */

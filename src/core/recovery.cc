@@ -56,33 +56,67 @@ lpValidateAndRecover(
     Device &dev, const LaunchConfig &cfg, const LpContext &lp,
     const std::function<void(ThreadCtx &, RecoverySet &)> &validate_kernel,
     const std::function<void(ThreadCtx &, const RecoverySet &)>
-        &recover_kernel)
+        &recover_kernel,
+    uint64_t max_rounds)
 {
     (void)lp;
     RecoverySet failed(dev, cfg.numBlocks());
 
-    LaunchResult validate = dev.launch(cfg, [&](ThreadCtx &t) {
-        validate_kernel(t, failed);
-    });
-    GPULP_ASSERT(!validate.crashed, "crash during validation kernel");
-
     RecoveryReport report;
     report.blocks_checked = cfg.numBlocks();
-    report.blocks_failed = failed.failedCount();
-    report.validate_cycles = validate.cycles;
+    bool first_validation = true;
 
-    if (report.blocks_failed > 0) {
+    while (report.rounds < max_rounds) {
+        ++report.rounds;
+
+        failed.clearAll();
+        LaunchResult validate = dev.launch(cfg, [&](ThreadCtx &t) {
+            validate_kernel(t, failed);
+        });
+        report.validate_cycles += validate.cycles;
+        if (validate.crashed) {
+            // A second failure hit while revalidating. Rewind to the
+            // last persisted image (the eager checkpoint) and retry.
+            ++report.crashes_survived;
+            dev.nvm()->crash();
+            continue;
+        }
+
+        uint64_t round_failed = failed.failedCount();
+        if (first_validation) {
+            // The damage the original crash caused; later rounds only
+            // shrink it, so this is what reports and tests care about.
+            report.blocks_failed = round_failed;
+            first_validation = false;
+        }
+        if (round_failed == 0) {
+            report.converged = true;
+            break;
+        }
+
         LaunchResult recover = dev.launch(cfg, [&](ThreadCtx &t) {
             recover_kernel(t, failed);
         });
-        GPULP_ASSERT(!recover.crashed, "crash during recovery kernel");
-        report.recover_cycles = recover.cycles;
-        report.blocks_recovered = report.blocks_failed;
+        report.recover_cycles += recover.cycles;
+        if (recover.crashed) {
+            ++report.crashes_survived;
+            dev.nvm()->crash();
+            continue;
+        }
+        report.blocks_recovered += round_failed;
+
+        // Eager recovery: persist the recovered state so forward
+        // progress holds even if another crash strikes immediately.
+        // (If a crash latched in the window since the recovery launch
+        // completed, persistAll() is a frozen no-op and the next
+        // validation round absorbs the crash instead.)
+        if (dev.nvm())
+            dev.nvm()->persistAll();
     }
 
-    // Eager recovery: persist the recovered state so forward progress
-    // holds even if another crash strikes immediately.
-    if (dev.nvm())
+    // One more checkpoint on the way out: a converged validation pass
+    // may itself have faulted clean lines; make the verdict durable.
+    if (dev.nvm() && !dev.nvm()->crashPending())
         dev.nvm()->persistAll();
     return report;
 }

@@ -65,12 +65,24 @@ struct RecoveryReport {
     uint64_t blocks_checked = 0;
     uint64_t blocks_failed = 0;   //!< checksum mismatch or missing entry
     uint64_t blocks_recovered = 0;
-    Cycles validate_cycles = 0;
-    Cycles recover_cycles = 0;
+    Cycles validate_cycles = 0;   //!< summed over all validation rounds
+    Cycles recover_cycles = 0;    //!< summed over all recovery rounds
+    uint64_t rounds = 0;          //!< validate(+recover) rounds executed
+    uint64_t crashes_survived = 0;//!< crashes absorbed mid-recovery
+    bool converged = false;       //!< a full validation found 0 failures
 };
 
 /**
  * Run the full eager-recovery protocol.
+ *
+ * The driver loops validate -> recover -> persistAll until a complete
+ * validation pass reports zero failed blocks. A crash that strikes
+ * *during* recovery (the second failure the eager protocol is designed
+ * for, Sec. IV-A) is absorbed: the NVM model rewinds to the last
+ * persisted image and the loop revalidates from there. The eager
+ * persistAll() checkpoint after every recovery round guarantees
+ * forward progress — each completed round durably shrinks the failed
+ * set, so the loop terminates unless crashes re-arm forever.
  *
  * @param dev The device (the NVM model should already have rewound
  *            memory to the persisted image via NvmCache::crash()).
@@ -83,13 +95,22 @@ struct RecoveryReport {
  * @param recover_kernel Kernel body that re-executes a block's work
  *        (including lpCommitRegion) when its flag is set and returns
  *        immediately otherwise.
- * @return Counts and cycle costs of both phases.
+ * @param max_rounds Safety cap on validate/recover rounds; when it is
+ *        hit the report comes back with converged == false instead of
+ *        looping forever (a store that cannot round-trip a checksum —
+ *        e.g. the pre-fix global-array sentinel bug — would otherwise
+ *        livelock recovery).
+ * @return Counts and cycle costs across all rounds. blocks_failed is
+ *         the failed count of the *first complete* validation pass —
+ *         the damage the crash actually caused — not the sum over
+ *         rounds.
  */
 RecoveryReport lpValidateAndRecover(
     Device &dev, const LaunchConfig &cfg, const LpContext &lp,
     const std::function<void(ThreadCtx &, RecoverySet &)> &validate_kernel,
     const std::function<void(ThreadCtx &, const RecoverySet &)>
-        &recover_kernel);
+        &recover_kernel,
+    uint64_t max_rounds = 32);
 
 } // namespace gpulp
 

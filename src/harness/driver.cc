@@ -1,5 +1,7 @@
 #include "driver.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace gpulp {
@@ -78,15 +80,30 @@ makeSuite(double scale)
 }
 
 double
+parseScaleOrDie(const char *text, const char *what)
+{
+    // atof() is not good enough here: it silently accepts trailing
+    // garbage ("0.5abc" -> 0.5) and "nan" sails through a
+    // (<= 0 || > 1) range check because NaN fails both comparisons.
+    errno = 0;
+    char *end = nullptr;
+    double scale = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        GPULP_FATAL("%s must be a number in (0, 1], got '%s'", what, text);
+    if (errno == ERANGE || !std::isfinite(scale))
+        GPULP_FATAL("%s must be finite and in (0, 1], got '%s'", what, text);
+    if (scale <= 0.0 || scale > 1.0)
+        GPULP_FATAL("%s must be in (0, 1], got '%s'", what, text);
+    return scale;
+}
+
+double
 benchScaleFromEnv()
 {
     const char *env = std::getenv("GPULP_SCALE");
     if (!env)
         return 1.0;
-    double scale = std::atof(env);
-    if (scale <= 0.0 || scale > 1.0)
-        GPULP_FATAL("GPULP_SCALE must be in (0, 1], got '%s'", env);
-    return scale;
+    return parseScaleOrDie(env, "GPULP_SCALE");
 }
 
 } // namespace gpulp

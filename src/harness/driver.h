@@ -91,9 +91,18 @@ std::vector<std::unique_ptr<WorkloadBench>> makeSuite(double scale = 1.0);
 /**
  * Scale factor for bench binaries: reads the GPULP_SCALE environment
  * variable (a float in (0, 1]), defaulting to 1.0 (paper-scale block
- * counts).
+ * counts). A value that does not parse in full, is not finite, or is
+ * outside (0, 1] is a fatal configuration error.
  */
 double benchScaleFromEnv();
+
+/**
+ * Parse @p text as a scale factor in (0, 1]; @p what names the source
+ * (an environment variable or CLI flag) in the fatal diagnostic when
+ * the text is garbage, has trailing junk, is non-finite or is out of
+ * range.
+ */
+double parseScaleOrDie(const char *text, const char *what);
 
 } // namespace gpulp
 

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Crash-consistency fault-injection campaign.
+ *
+ * The paper's claim is not that LP is fast — it is that LP-protected
+ * kernels *survive crashes*: validation recomputes per-block checksums
+ * against the store and recovery re-executes exactly the failed blocks
+ * (Sec. II-A, IV-A, Listing 7). This harness turns that claim into a
+ * testable statement. For every campaign cell — a (workload, checksum
+ * store, checksum kind) triple — it:
+ *
+ *  1. runs the LP kernel crash-free and snapshots the golden output;
+ *  2. sweeps crash points over the observed-store count: a
+ *     deterministic grid of fractions plus Prng-seeded random points;
+ *  3. for each point: re-arms NvmCache::crashAfterStores(), runs the
+ *     kernel to the crash, rewinds to the persisted image, and
+ *     byte-diffs every block's persistent output against the golden
+ *     run — ground truth for which blocks are actually corrupt;
+ *  4. runs a validation pass and classifies each block:
+ *       - true fail:   corrupt and flagged (recovery will repair it);
+ *       - false fail:  intact but flagged (checksum entry did not
+ *                      persist; wasted re-execution, still correct);
+ *       - false pass:  corrupt but NOT flagged — silent corruption,
+ *                      the one outcome that breaks the paper's
+ *                      guarantee;
+ *  5. runs the crash-tolerant validate/recover driver and re-diffs the
+ *     recovered output against golden.
+ *
+ * A campaign passes iff every trial converged with zero false-passes
+ * and a byte-identical durable output. runFaultCampaign() is
+ * deterministic for a fixed (options, workers) pair.
+ */
+
+#ifndef GPULP_HARNESS_FAULTCAMPAIGN_H
+#define GPULP_HARNESS_FAULTCAMPAIGN_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/lp_config.h"
+#include "mem/timing.h"
+
+namespace gpulp {
+
+/** What to sweep and how hard. */
+struct CampaignOptions {
+    /** Workload scale in (0, 1]; campaign cells are O(points) kernel
+     *  launches, so keep this small. */
+    double scale = 0.004;
+
+    /** Seed for the random crash points (mixed per cell). */
+    uint64_t seed = 1;
+
+    /** Evenly-spaced crash points over the observed-store count. */
+    uint32_t grid_points = 12;
+
+    /** Additional Prng-drawn crash points per cell. */
+    uint32_t random_points = 8;
+
+    /** Worker threads for the parallel block engine (0 = auto). */
+    uint32_t num_workers = 1;
+
+    /** NVM cache size; small enough that natural evictions persist a
+     *  nontrivial, partial subset of the output before the crash. */
+    size_t nvm_cache_bytes = 16 * 1024;
+
+    /** Workloads to sweep; must implement the outputSpans() hook. */
+    std::vector<std::string> workloads = {"spmv", "mri-q", "tmm"};
+
+    /** Checksum stores to sweep. */
+    std::vector<TableKind> tables = {TableKind::QuadProbe,
+                                     TableKind::Cuckoo,
+                                     TableKind::GlobalArray};
+
+    /** Checksum kinds to sweep. */
+    std::vector<ChecksumKind> checksums = {ChecksumKind::ModularParity};
+};
+
+/** Outcome of one crash point within a cell. */
+struct TrialResult {
+    uint64_t crash_point = 0;     //!< stores persisted before the cut
+    uint64_t torn_lines = 0;      //!< dirty lines dropped at the crash
+    uint64_t corrupt_blocks = 0;  //!< ground truth: output != golden
+    uint64_t flagged_blocks = 0;  //!< validation verdict: marked failed
+    uint64_t true_fails = 0;      //!< corrupt and flagged
+    uint64_t false_fails = 0;     //!< intact but flagged (benign)
+    uint64_t false_passes = 0;    //!< corrupt but NOT flagged (fatal)
+    uint64_t blocks_recovered = 0;
+    uint64_t recovery_rounds = 0;
+    uint64_t crashes_survived = 0;
+    Cycles validate_cycles = 0;
+    Cycles recover_cycles = 0;
+    bool converged = false;       //!< recovery driver reached 0 failures
+    bool output_matches_golden = false; //!< durable output byte-identical
+    bool verify_ok = false;       //!< workload host-reference check
+};
+
+/** One (workload, table, checksum) sweep. */
+struct CellResult {
+    std::string workload;
+    TableKind table = TableKind::GlobalArray;
+    ChecksumKind checksum = ChecksumKind::ModularParity;
+    uint64_t num_blocks = 0;
+    uint64_t golden_stores = 0;   //!< observed stores in the clean run
+    std::vector<TrialResult> trials;
+
+    /** Sum of silent corruptions across trials. */
+    uint64_t falsePasses() const;
+
+    /** All trials converged to the golden output with no false-pass. */
+    bool passed() const;
+};
+
+/** Whole-campaign outcome. */
+struct CampaignResult {
+    CampaignOptions options;
+    uint32_t workers = 0;         //!< resolved worker count actually used
+    std::vector<CellResult> cells;
+
+    bool
+    passed() const
+    {
+        for (const CellResult &cell : cells) {
+            if (!cell.passed())
+                return false;
+        }
+        return !cells.empty();
+    }
+};
+
+/**
+ * Run the campaign. Fatal on configuration errors (unknown workload, a
+ * workload without outputSpans() support, out-of-range scale).
+ */
+CampaignResult runFaultCampaign(const CampaignOptions &opts);
+
+/** Emit the campaign report as JSON to @p out. */
+void writeCampaignJson(const CampaignResult &result, std::FILE *out);
+
+} // namespace gpulp
+
+#endif // GPULP_HARNESS_FAULTCAMPAIGN_H

@@ -86,14 +86,15 @@ namespace detail {
 inline uint32_t
 toBits(float value)
 {
-    return floatToOrderedInt(value);
+    // Checksum fold site: canonicalize -0.0 (see floatToChecksumBits).
+    return floatToChecksumBits(value);
 }
 
 inline uint32_t
 toBits(double value)
 {
-    return static_cast<uint32_t>(doubleToOrderedInt(value) ^
-                                 (doubleToOrderedInt(value) >> 32));
+    return static_cast<uint32_t>(doubleToChecksumBits(value) ^
+                                 (doubleToChecksumBits(value) >> 32));
 }
 
 template <typename T>

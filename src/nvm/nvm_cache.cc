@@ -24,6 +24,28 @@ NvmCache::onStore(Addr addr, size_t bytes)
 {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.stores_observed;
+    // The crash latch is checked *before* the cache is touched: the
+    // store that trips the countdown is the first casualty of the
+    // power failure and must never reach the persistence domain (no
+    // line dirtied, no eviction write-back). Together with the frozen
+    // post-crash state below, this makes crashAfterStores(n) mean
+    // exactly "the NVM image reflects at most the first n stores",
+    // which the fault campaign relies on for reproducible crash
+    // points.
+    if (crash_armed_ && !crashPending()) {
+        if (crash_countdown_ == 0) {
+            crash_pending_.store(true, std::memory_order_release);
+        } else {
+            --crash_countdown_;
+        }
+    }
+    if (crashPending()) {
+        // Power is already gone: in-flight workers that race past the
+        // latch before their SimCrash unwinds must not keep persisting
+        // state. Count them for diagnostics but mutate nothing.
+        ++stats_.stores_after_crash;
+        return;
+    }
     Addr first_line = addr / params_.line_bytes;
     Addr last_line = (addr + bytes - 1) / params_.line_bytes;
     for (Addr line = first_line; line <= last_line; ++line) {
@@ -32,19 +54,14 @@ NvmCache::onStore(Addr addr, size_t bytes)
         else
             ++stats_.store_misses;
     }
-    if (crash_armed_ && !crashPending()) {
-        if (crash_countdown_ == 0) {
-            crash_pending_.store(true, std::memory_order_release);
-        } else {
-            --crash_countdown_;
-        }
-    }
 }
 
 void
 NvmCache::onLoad(Addr addr, size_t bytes)
 {
     std::lock_guard<std::mutex> lk(mu_);
+    if (crashPending())
+        return; // frozen: see onStore()
     Addr first_line = addr / params_.line_bytes;
     Addr last_line = (addr + bytes - 1) / params_.line_bytes;
     for (Addr line = first_line; line <= last_line; ++line) {
@@ -110,6 +127,8 @@ void
 NvmCache::persistAll()
 {
     std::lock_guard<std::mutex> lk(mu_);
+    if (crashPending())
+        return; // power already failed; nothing can reach NVM now
     // Publish the whole arena (covers host raw() writes that never went
     // through the observer) and clean every line.
     std::memcpy(shadow_.data(), mem_.raw(0), mem_.used());
@@ -121,16 +140,25 @@ NvmCache::persistAll()
     }
 }
 
-void
+uint64_t
 NvmCache::crash()
 {
     std::lock_guard<std::mutex> lk(mu_);
+    // Every line still dirty at the failure holds store values that
+    // never reached NVM — the "torn" state recovery must repair.
+    uint64_t torn = 0;
+    for (const auto &line : lines_) {
+        if (line.valid && line.dirty)
+            ++torn;
+    }
+    stats_.torn_lines += torn;
     // Volatile state is lost: rewind the arena to the NVM image.
     std::memcpy(mem_.raw(0), shadow_.data(), mem_.used());
     for (auto &line : lines_)
         line = Line{};
     crash_armed_ = false;
     crash_pending_.store(false, std::memory_order_release);
+    return torn;
 }
 
 uint64_t
@@ -138,6 +166,8 @@ NvmCache::flushRange(Addr addr, size_t bytes)
 {
     GPULP_ASSERT(bytes > 0, "empty flush range");
     std::lock_guard<std::mutex> lk(mu_);
+    if (crashPending())
+        return 0; // frozen: see onStore()
     uint64_t flushed = 0;
     uint64_t first = addr / params_.line_bytes;
     uint64_t last = (addr + bytes - 1) / params_.line_bytes;

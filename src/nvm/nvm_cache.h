@@ -23,6 +23,17 @@
  * Crash injection: arm the cache with crashAfterStores(n); once n more
  * stores have been observed the crashPending() flag latches, and the
  * kernel launcher aborts the in-flight grid with a simulated crash.
+ *
+ * Crash-at-store determinism: the latch is evaluated *before* the
+ * triggering store touches the cache, and once crashPending() is set
+ * the persistence domain freezes — late stores from in-flight workers
+ * mutate no line, evict nothing, and persistAll()/flushRange() are
+ * no-ops until crash() or disarmCrash() resolves the failure. The NVM
+ * image after crash() therefore reflects at most the first n observed
+ * stores. Under the parallel engine the *set* of observed stores up to
+ * the latch is schedule-dependent (workers race), but the invariant
+ * "nothing past the latch persists" holds at every worker count; at
+ * workers=1 the crash point is exactly reproducible.
  */
 
 #ifndef GPULP_NVM_NVM_CACHE_H
@@ -62,6 +73,8 @@ struct NvmStats {
     uint64_t flushed_lines = 0;    //!< write-backs forced by persistAll()
     uint64_t nvm_line_reads = 0;   //!< fills served from NVM
     uint64_t stores_observed = 0;
+    uint64_t torn_lines = 0;       //!< dirty lines dropped by crash()
+    uint64_t stores_after_crash = 0; //!< stores frozen out post-latch
 
     /** Total lines written to the NVM device (natural + flushed). */
     uint64_t nvmLineWrites() const { return dirty_evictions + flushed_lines; }
@@ -112,8 +125,11 @@ class NvmCache : public MemObserver
      * Simulate a power failure: every dirty line's contents are lost
      * and the arena is rewound to the NVM shadow. The cache is
      * invalidated. crashPending() is cleared.
+     *
+     * @return The number of dirty ("torn") lines whose contents were
+     *         dropped — the damage recovery has to repair.
      */
-    void crash();
+    uint64_t crash();
 
     /** Drop all lines without writing anything back (test helper). */
     void invalidateAll();

@@ -122,4 +122,19 @@ MriQWorkload::outputBytes() const
     return (qr_.size() + qi_.size()) * sizeof(float);
 }
 
+std::vector<OutputSpan>
+MriQWorkload::outputSpans() const
+{
+    return {{qr_.base(), qr_.size() * sizeof(float)},
+            {qi_.base(), qi_.size() * sizeof(float)}};
+}
+
+std::vector<OutputSpan>
+MriQWorkload::blockOutputSpans(uint64_t rank) const
+{
+    // One voxel per thread: block b owns qr_/qi_[b*kThreads, ...).
+    return {{qr_.addrOf(rank * kThreads), kThreads * sizeof(float)},
+            {qi_.addrOf(rank * kThreads), kThreads * sizeof(float)}};
+}
+
 } // namespace gpulp

@@ -121,4 +121,18 @@ SadWorkload::outputBytes() const
     return sad_.size() * sizeof(uint16_t);
 }
 
+std::vector<OutputSpan>
+SadWorkload::outputSpans() const
+{
+    return {{sad_.base(), sad_.size() * sizeof(uint16_t)}};
+}
+
+std::vector<OutputSpan>
+SadWorkload::blockOutputSpans(uint64_t rank) const
+{
+    // One search position per thread: block b owns
+    // sad_[b*kThreads, (b+1)*kThreads).
+    return {{sad_.addrOf(rank * kThreads), kThreads * sizeof(uint16_t)}};
+}
+
 } // namespace gpulp

@@ -103,4 +103,17 @@ SpmvWorkload::outputBytes() const
     return y_.size() * sizeof(float);
 }
 
+std::vector<OutputSpan>
+SpmvWorkload::outputSpans() const
+{
+    return {{y_.base(), y_.size() * sizeof(float)}};
+}
+
+std::vector<OutputSpan>
+SpmvWorkload::blockOutputSpans(uint64_t rank) const
+{
+    // One row per thread: block b owns y_[b*kThreads, (b+1)*kThreads).
+    return {{y_.addrOf(rank * kThreads), kThreads * sizeof(float)}};
+}
+
 } // namespace gpulp

@@ -120,4 +120,28 @@ TmmWorkload::outputBytes() const
     return c_.size() * sizeof(float);
 }
 
+std::vector<OutputSpan>
+TmmWorkload::outputSpans() const
+{
+    return {{c_.base(), c_.size() * sizeof(float)}};
+}
+
+std::vector<OutputSpan>
+TmmWorkload::blockOutputSpans(uint64_t rank) const
+{
+    // Block (bx, by) owns the kTile x kTile output tile at
+    // (by*kTile, bx*kTile): kTile row fragments of kTile floats.
+    const uint64_t by = rank / grid_;
+    const uint64_t bx = rank % grid_;
+    std::vector<OutputSpan> spans;
+    spans.reserve(kTile);
+    for (uint32_t r = 0; r < kTile; ++r) {
+        uint64_t row = by * kTile + r;
+        uint64_t col = bx * kTile;
+        spans.push_back(
+            {c_.addrOf(row * n_ + col), kTile * sizeof(float)});
+    }
+    return spans;
+}
+
 } // namespace gpulp

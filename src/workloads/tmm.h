@@ -53,6 +53,8 @@ class TmmWorkload : public Workload
                     RecoverySet &failed) override;
     bool verify(std::string *why = nullptr) const override;
     uint64_t outputBytes() const override;
+    std::vector<OutputSpan> outputSpans() const override;
+    std::vector<OutputSpan> blockOutputSpans(uint64_t rank) const override;
     double quadLoadFactor() const override { return 0.93; }
     double cuckooLoadFactor() const override { return 0.49; }
 

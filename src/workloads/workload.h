@@ -30,6 +30,12 @@
 
 namespace gpulp {
 
+/** One contiguous range of persistent output bytes in device memory. */
+struct OutputSpan {
+    Addr addr = kNullAddr;
+    uint64_t bytes = 0;
+};
+
 /**
  * One benchmark from the paper's suite.
  *
@@ -75,6 +81,27 @@ class Workload
 
     /** Bytes of persistent output data (space-overhead denominator). */
     virtual uint64_t outputBytes() const = 0;
+
+    /**
+     * Golden-output capture hook: the device-memory spans holding this
+     * workload's persistent output, valid after setup(). The fault
+     * campaign snapshots these after a crash-free run and byte-diffs
+     * them against recovered state. Workloads whose output cannot be
+     * attributed (e.g. histo's shared atomic bins) return {} and are
+     * skipped by the campaign.
+     */
+    virtual std::vector<OutputSpan> outputSpans() const { return {}; }
+
+    /**
+     * The subset of outputSpans() bytes owned by thread block @p rank,
+     * for classifying per-block corruption. Blocks must own disjoint
+     * byte ranges; only meaningful when outputSpans() is non-empty.
+     */
+    virtual std::vector<OutputSpan> blockOutputSpans(uint64_t rank) const
+    {
+        (void)rank;
+        return {};
+    }
 
     /**
      * Load factor the paper's table sizing produced for this benchmark

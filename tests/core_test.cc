@@ -371,7 +371,8 @@ TEST(StoreTest, GlobalArrayHasNoCollisionsEver)
     });
     EXPECT_EQ(store.stats().collisions, 0u);
     EXPECT_EQ(store.capacity(), 4096u);
-    EXPECT_EQ(store.footprintBytes(), 4096u * 8);
+    // 8 payload bytes + 1 out-of-band valid byte per slot.
+    EXPECT_EQ(store.footprintBytes(), 4096u * 9);
 }
 
 TEST(StoreTest, GlobalArrayUnwrittenSlotReportsMissing)
@@ -584,13 +585,14 @@ TEST(RuntimeTest, FootprintAccountsStoreAndScratch)
     Device dev;
     LaunchConfig cfg(Dim3(128), Dim3(64));
     LpRuntime array_lp(dev, LpConfig::scalable(), cfg);
-    EXPECT_EQ(array_lp.footprintBytes(), 128u * 8);
+    // 8 payload bytes + 1 out-of-band valid byte per block slot.
+    EXPECT_EQ(array_lp.footprintBytes(), 128u * 9);
 
     LpConfig seq_cfg;
     seq_cfg.reduction = ReductionKind::SequentialGlobal;
     LpRuntime seq_lp(dev, seq_cfg, cfg);
     EXPECT_EQ(seq_lp.footprintBytes(),
-              128u * 8 + 128u * 64 * sizeof(uint64_t));
+              128u * 9 + 128u * 64 * sizeof(uint64_t));
 }
 
 // ---------------------------------------------------------------------

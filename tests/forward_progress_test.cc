@@ -111,5 +111,71 @@ INSTANTIATE_TEST_SUITE_P(CrashPeriods, RepeatedCrashes,
                          ::testing::Values(120ull, 300ull, 700ull,
                                            1500ull));
 
+TEST(EagerRecoveryDriver, AbsorbsCrashArmedDuringRecovery)
+{
+    Device dev;
+    NvmParams nvm_params;
+    nvm_params.cache_bytes = 64 * 1024;
+    NvmCache nvm(dev.mem(), nvm_params);
+    dev.attachNvm(&nvm);
+
+    LaunchConfig cfg(Dim3(24), Dim3(32));
+    const uint64_t n = cfg.numBlocks() * 32;
+    auto in = ArrayRef<float>::allocate(dev.mem(), n);
+    auto out = ArrayRef<float>::allocate(dev.mem(), n);
+    for (uint64_t i = 0; i < n; ++i)
+        in.hostAt(i) = static_cast<float>(i % 31) * 0.25f;
+
+    LpRuntime lp(dev, LpConfig::scalable(), cfg);
+    LpContext ctx = lp.context();
+    auto kernel = [&](ThreadCtx &t) {
+        ChecksumAccum acc = ctx.makeAccum();
+        uint64_t i = t.globalThreadIdx();
+        float v = 5.0f * t.load(in, i) - 2.0f;
+        t.store(out, i, v);
+        acc.protectFloat(t, v);
+        lpCommitRegion(t, ctx, acc);
+    };
+
+    nvm.persistAll();
+    nvm.crashAfterStores(200);
+    (void)dev.launch(cfg, kernel);
+    nvm.crash();
+
+    // Arm a second power failure to strike while the recovery driver's
+    // kernels run. Every block failed (the 64 KiB cache evicted
+    // nothing before the crash), so the first recovery round attempts
+    // ~800 stores and the 400-store countdown fires inside it. The
+    // driver must absorb the crash, rewind to the eager persistAll()
+    // checkpoint and still converge.
+    nvm.crashAfterStores(400);
+
+    RecoveryReport report = lpValidateAndRecover(
+        dev, cfg, ctx,
+        [&](ThreadCtx &t, RecoverySet &failed) {
+            ChecksumAccum acc = ctx.makeAccum();
+            acc.protectFloat(t, t.load(out, t.globalThreadIdx()));
+            bool ok = lpValidateRegion(t, ctx, acc);
+            if (t.flatThreadIdx() == 0 && !ok)
+                failed.markFailed(t, t.blockRank());
+        },
+        [&](ThreadCtx &t, const RecoverySet &failed) {
+            if (failed.isFailedHost(t.blockRank()))
+                kernel(t);
+        });
+
+    EXPECT_TRUE(report.converged);
+    EXPECT_GT(report.blocks_failed, 0u);
+    EXPECT_GE(report.crashes_survived, 1u);
+    EXPECT_GT(report.rounds, report.crashes_survived);
+
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_EQ(out.hostAt(i), 5.0f * in.hostAt(i) - 2.0f) << i;
+    // Durable, too: the driver's final persistAll() checkpointed it.
+    nvm.crash();
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_EQ(out.hostAt(i), 5.0f * in.hostAt(i) - 2.0f) << i;
+}
+
 } // namespace
 } // namespace gpulp

@@ -221,7 +221,8 @@ TEST(HarnessTest, BenchMeasuresBaselineOnceAndOverheads)
     EXPECT_GT(array.overhead, -0.01);
     EXPECT_EQ(array.num_blocks,
               bench.workload().launchConfig().numBlocks());
-    EXPECT_EQ(array.lp_footprint_bytes, array.num_blocks * 8);
+    // 8 payload bytes + 1 out-of-band valid byte per block slot.
+    EXPECT_EQ(array.lp_footprint_bytes, array.num_blocks * 9);
 }
 
 TEST(HarnessTest, LockBasedCostsMoreThanLockFree)

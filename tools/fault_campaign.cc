@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Crash-consistency fault-injection campaign driver.
+ *
+ * Sweeps injected crash points across (workload x checksum-store x
+ * checksum-kind) cells, classifies every thread block of every trial
+ * as true-fail / false-fail / false-pass against a golden crash-free
+ * run, and re-checks that the recovered output is byte-identical and
+ * durable. Exits non-zero on any false-pass (silent corruption), any
+ * recovered-output mismatch, or any non-converging recovery, so CI can
+ * use it as a correctness gate.
+ *
+ * Usage:
+ *   fault_campaign [--scale F] [--seed N] [--grid N] [--random N]
+ *                  [--workers N] [--workloads a,b,c]
+ *                  [--tables quad,cuckoo,array]
+ *                  [--checksums modular,parity,both]
+ *                  [--json PATH] [--quiet]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/driver.h"
+#include "harness/faultcampaign.h"
+
+using namespace gpulp;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        if (comma > start)
+            out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+TableKind
+parseTable(const std::string &name)
+{
+    if (name == "quad")
+        return TableKind::QuadProbe;
+    if (name == "cuckoo")
+        return TableKind::Cuckoo;
+    if (name == "array")
+        return TableKind::GlobalArray;
+    GPULP_FATAL("unknown table '%s' (want quad, cuckoo or array)",
+                name.c_str());
+}
+
+ChecksumKind
+parseChecksum(const std::string &name)
+{
+    if (name == "modular")
+        return ChecksumKind::Modular;
+    if (name == "parity")
+        return ChecksumKind::Parity;
+    if (name == "both")
+        return ChecksumKind::ModularParity;
+    GPULP_FATAL("unknown checksum '%s' (want modular, parity or both)",
+                name.c_str());
+}
+
+uint64_t
+parseU64(const char *text, const char *what)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        GPULP_FATAL("%s must be a non-negative integer, got '%s'", what,
+                    text);
+    return v;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--scale F] [--seed N] [--grid N] [--random N]\n"
+        "          [--workers N] [--workloads a,b,c]\n"
+        "          [--tables quad,cuckoo,array]\n"
+        "          [--checksums modular,parity,both]\n"
+        "          [--json PATH] [--quiet]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CampaignOptions opts;
+    const char *json_path = nullptr;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                GPULP_FATAL("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--scale") == 0) {
+            opts.scale = parseScaleOrDie(value("--scale"), "--scale");
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            opts.seed = parseU64(value("--seed"), "--seed");
+        } else if (std::strcmp(argv[i], "--grid") == 0) {
+            opts.grid_points =
+                static_cast<uint32_t>(parseU64(value("--grid"), "--grid"));
+        } else if (std::strcmp(argv[i], "--random") == 0) {
+            opts.random_points = static_cast<uint32_t>(
+                parseU64(value("--random"), "--random"));
+        } else if (std::strcmp(argv[i], "--workers") == 0) {
+            opts.num_workers = static_cast<uint32_t>(
+                parseU64(value("--workers"), "--workers"));
+        } else if (std::strcmp(argv[i], "--workloads") == 0) {
+            opts.workloads = splitList(value("--workloads"));
+        } else if (std::strcmp(argv[i], "--tables") == 0) {
+            opts.tables.clear();
+            for (const std::string &t : splitList(value("--tables")))
+                opts.tables.push_back(parseTable(t));
+        } else if (std::strcmp(argv[i], "--checksums") == 0) {
+            opts.checksums.clear();
+            for (const std::string &k : splitList(value("--checksums")))
+                opts.checksums.push_back(parseChecksum(k));
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json_path = value("--json");
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    CampaignResult result = runFaultCampaign(opts);
+
+    if (!quiet) {
+        std::printf("=== fault campaign: scale %.4f, seed %llu, "
+                    "%u grid + %u random points, workers %u ===\n",
+                    opts.scale,
+                    static_cast<unsigned long long>(opts.seed),
+                    opts.grid_points, opts.random_points, result.workers);
+        for (const CellResult &cell : result.cells) {
+            uint64_t torn = 0, corrupt = 0, recovered = 0, ffails = 0;
+            for (const TrialResult &t : cell.trials) {
+                torn += t.torn_lines;
+                corrupt += t.corrupt_blocks;
+                recovered += t.blocks_recovered;
+                ffails += t.false_fails;
+            }
+            std::printf(
+                "%-14s %-7s %-8s %3zu points  %5llu corrupt  "
+                "%5llu recovered  %4llu torn  %3llu false-fail  "
+                "%llu false-pass  %s\n",
+                cell.workload.c_str(), toString(cell.table),
+                toString(cell.checksum), cell.trials.size(),
+                static_cast<unsigned long long>(corrupt),
+                static_cast<unsigned long long>(recovered),
+                static_cast<unsigned long long>(torn),
+                static_cast<unsigned long long>(ffails),
+                static_cast<unsigned long long>(cell.falsePasses()),
+                cell.passed() ? "pass" : "FAIL");
+        }
+        std::printf("campaign verdict: %s\n",
+                    result.passed() ? "PASS" : "FAIL");
+    }
+
+    if (json_path) {
+        std::FILE *f = std::fopen(json_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+            return 1;
+        }
+        writeCampaignJson(result, f);
+        std::fclose(f);
+        if (!quiet)
+            std::printf("wrote %s\n", json_path);
+    }
+
+    return result.passed() ? 0 : 1;
+}

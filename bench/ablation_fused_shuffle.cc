@@ -14,14 +14,16 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "bench_env.h"
 #include "harness/driver.h"
 
 using namespace gpulp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    double scale = benchScaleFromEnv();
+    BenchCli cli = benchCli("ablation_fused_shuffle", argc, argv);
+    const double scale = cli.scale;
     std::printf("=== Ablation: fused dual-checksum shuffle on TMM + quad "
                 "(scale %.3f) ===\n",
                 scale * 0.25);
@@ -60,5 +62,6 @@ main()
                 fused.lp_cycles <= dual.lp_cycles ? "yes" : "no");
     std::printf("  fused >= single checksum:    %s\n",
                 fused.lp_cycles + 1 >= modular.lp_cycles ? "yes" : "no");
+    benchFinish(cli);
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_env.h"
 #include "common/table.h"
 #include "core/fusion.h"
 #include "core/runtime.h"
@@ -50,8 +51,9 @@ makeRevalidate(ArrayRef<uint32_t> &out)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli = benchCli("ablation_fusion", argc, argv);
     std::printf("=== Ablation: LP region enlargement via thread-block "
                 "fusion (Sec. IV-A) ===\n");
     std::printf("%u tiny logical blocks of %u threads, fused F-to-1; "
@@ -123,5 +125,6 @@ main()
                 monotone ? "yes" : "no");
     std::printf("  Recovery granularity coarsens with F "
                 "(more work re-executed per failure).\n");
+    benchFinish(cli);
     return 0;
 }

@@ -14,14 +14,16 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "bench_env.h"
 #include "harness/driver.h"
 
 using namespace gpulp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    double scale = benchScaleFromEnv();
+    BenchCli cli = benchCli("ablation_load_factor", argc, argv);
+    const double scale = cli.scale;
     // A fraction of the full grid keeps the sweep quick; the cliff
     // shape is load-factor-driven, not size-driven.
     double sweep_scale = scale * 0.25;
@@ -64,5 +66,6 @@ main()
     std::printf("\nPaper guidance: quad <= ~70%%, cuckoo < 50%%; the "
                 "global array runs at 100%% load,\ncollision-free and "
                 "race-free (Sec. V).\n");
+    benchFinish(cli);
     return 0;
 }

@@ -14,14 +14,16 @@
 #include <string>
 
 #include "common/table.h"
+#include "bench_env.h"
 #include "harness/driver.h"
 
 using namespace gpulp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    double scale = benchScaleFromEnv();
+    BenchCli cli = benchCli("ablation_recovery", argc, argv);
+    const double scale = cli.scale;
     double run_scale = scale * 0.25;
     std::printf("=== Ablation: recovery cost vs crash point on MRI-Q "
                 "(scale %.3f) ===\n",
@@ -102,5 +104,6 @@ main()
                 "sweeps the whole grid). Eager recovery persists the\n"
                 "result, so forward progress is guaranteed across "
                 "repeated crashes (Sec. II-A).\n");
+    benchFinish(cli);
     return 0;
 }

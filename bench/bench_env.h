@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shared environment/CLI handling for every bench main.
+ *
+ * Before this header existed each bench read GPULP_SCALE on its own and
+ * table5 re-parsed --scale with atof (silently accepting garbage). The
+ * single entry point benchCli() now:
+ *
+ *  - seeds the scale from GPULP_SCALE (benchScaleFromEnv) and lets
+ *    --scale override it, both via parseScaleOrDie so a typo dies loudly
+ *    instead of degenerating to scale 0;
+ *  - accepts --json PATH (machine-readable result file) and
+ *    --trace PATH (Chrome trace + JSONL, see obs/trace.h) uniformly;
+ *  - arms the observability layer: counters are ON for bench binaries
+ *    (they exist to measure) unless GPULP_COUNTERS=0 vetoes, and
+ *    GPULP_TRACE also enables tracing for benches with no --trace flag.
+ *
+ * Benches that accept no flags still call benchCli(name, argc, argv) so
+ * stray arguments fail fast with a usage line instead of being ignored.
+ */
+
+#ifndef GPULP_BENCH_BENCH_ENV_H
+#define GPULP_BENCH_BENCH_ENV_H
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/driver.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace gpulp {
+
+/** Parsed common bench options. */
+struct BenchCli {
+    const char *bench = nullptr;      //!< binary name, used in JSON/usage
+    double scale = 1.0;               //!< workload scale in (0, 1]
+    const char *json_path = nullptr;  //!< --json PATH or nullptr
+    const char *trace_path = nullptr; //!< --trace PATH or nullptr
+    std::chrono::steady_clock::time_point start; //!< set by benchCli()
+
+    /** Wall-clock seconds since benchCli() returned. */
+    double
+    wallSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+};
+
+/**
+ * Parse the common bench flags and arm observability. Exits with usage
+ * on unknown arguments; fatal on malformed --scale / GPULP_SCALE.
+ */
+inline BenchCli
+benchCli(const char *bench, int argc, char **argv)
+{
+    BenchCli cli;
+    cli.bench = bench;
+    cli.scale = benchScaleFromEnv();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+            cli.scale = parseScaleOrDie(argv[++i], "--scale");
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            cli.json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            cli.trace_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--scale F] [--json PATH] "
+                         "[--trace PATH]\n",
+                         bench);
+            std::exit(2);
+        }
+    }
+
+    // Benches measure things, so counters default ON here (the library
+    // default stays OFF); GPULP_COUNTERS=0 still vetoes, GPULP_TRACE
+    // still applies, both via the once-per-process env hook.
+    obs::setCountersEnabled(true);
+    obs::initFromEnvOnce();
+    if (cli.trace_path != nullptr)
+        obs::enableTrace(cli.trace_path);
+    cli.start = std::chrono::steady_clock::now();
+    return cli;
+}
+
+/** Flush the trace, announcing where it went. */
+inline void
+benchFlushTrace()
+{
+    if (obs::traceEnabled() && obs::flushTrace()) {
+        std::printf("\nwrote Chrome trace %s (+.jsonl); load it in "
+                    "chrome://tracing or https://ui.perfetto.dev\n",
+                    obs::tracePath().c_str());
+    }
+}
+
+/**
+ * Finish a bench run: flush the trace and, for benches without a
+ * richer JSON report of their own, write the generic
+ * {bench, scale, wall_seconds, counters} object to --json.
+ */
+inline void
+benchFinish(const BenchCli &cli)
+{
+    const double wall_seconds = cli.wallSeconds();
+    benchFlushTrace();
+    if (cli.json_path == nullptr)
+        return;
+    std::FILE *f = std::fopen(cli.json_path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     cli.json_path);
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", cli.bench);
+    std::fprintf(f, "  \"scale\": %.4f,\n", cli.scale);
+    std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall_seconds);
+    std::fprintf(f, "  ");
+    obs::writeCountersJson(obs::snapshotCounters(), f, "  ");
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", cli.json_path);
+}
+
+} // namespace gpulp
+
+#endif // GPULP_BENCH_BENCH_ENV_H

@@ -12,15 +12,17 @@
 
 #include "common/stats.h"
 #include "common/table.h"
+#include "bench_env.h"
 #include "harness/driver.h"
 #include "paper_refs.h"
 
 using namespace gpulp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    double scale = benchScaleFromEnv();
+    BenchCli cli = benchCli("fig5_hash_overhead", argc, argv);
+    const double scale = cli.scale;
     std::printf("=== Fig. 5: naive LP overhead, Quad vs Cuckoo "
                 "(scale %.3f) ===\n",
                 scale);
@@ -69,5 +71,6 @@ main()
                                               cuckoo_ov.end())
                     ? "yes"
                     : "no");
+    benchFinish(cli);
     return 0;
 }

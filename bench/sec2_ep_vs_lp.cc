@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "bench_env.h"
 #include "common/table.h"
 #include "core/eager.h"
 #include "core/runtime.h"
@@ -99,8 +100,9 @@ run(const Scenario &s, Scheme scheme)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchCli cli = benchCli("sec2_ep_vs_lp", argc, argv);
     std::printf("=== Sec. I/II: Eager vs Lazy Persistency ===\n");
     std::printf("(EP: undo log + clwb + persist barriers; LP: checksum "
                 "global array + shuffle)\n\n");
@@ -142,5 +144,6 @@ main()
     std::printf("\nShape checks:\n");
     std::printf("  LP cheaper than EP in every scenario: %s\n",
                 lp_always_cheaper ? "yes" : "no");
+    benchFinish(cli);
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "common/stats.h"
 #include "common/table.h"
+#include "bench_env.h"
 #include "harness/driver.h"
 #include "paper_refs.h"
 
@@ -32,9 +33,10 @@ config(TableKind table, LockMode lock)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    double scale = benchScaleFromEnv();
+    BenchCli cli = benchCli("sec4d3_atomics", argc, argv);
+    const double scale = cli.scale;
     std::printf("=== Sec. IV-D.3: atomic vs plain (no-atomic) insertion "
                 "(scale %.3f) ===\n",
                 scale);
@@ -86,5 +88,6 @@ main()
     std::printf("  Quad degrades far more than cuckoo:              %s\n",
                 geomeanOverhead(qp) > 5.0 * geomeanOverhead(cp) ? "yes"
                                                                 : "no");
+    benchFinish(cli);
     return 0;
 }

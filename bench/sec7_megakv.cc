@@ -11,6 +11,7 @@
 
 #include "common/prng.h"
 #include "common/table.h"
+#include "bench_env.h"
 #include "harness/driver.h"
 #include "paper_refs.h"
 #include "workloads/megakv.h"
@@ -77,9 +78,10 @@ run(bool with_lp, uint32_t batch)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    double scale = benchScaleFromEnv();
+    BenchCli cli = benchCli("sec7_megakv", argc, argv);
+    const double scale = cli.scale;
     uint32_t batch = static_cast<uint32_t>(16384 * scale) / 128 * 128;
     if (batch == 0)
         batch = 128;
@@ -111,5 +113,6 @@ main()
                 ins < 0.10 && sea < 0.10 && era < 0.10 ? "yes" : "no");
     std::printf("  delete > search > insert ordering:      %s\n",
                 era > sea && sea > ins ? "yes" : "no");
+    benchFinish(cli);
     return 0;
 }

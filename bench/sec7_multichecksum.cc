@@ -12,15 +12,17 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "bench_env.h"
 #include "harness/driver.h"
 #include "paper_refs.h"
 
 using namespace gpulp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    double scale = benchScaleFromEnv();
+    BenchCli cli = benchCli("sec7_multichecksum", argc, argv);
+    const double scale = cli.scale;
     std::printf("=== Sec. VII-2: single vs dual checksum on TMM + quad "
                 "(scale %.3f) ===\n",
                 scale);
@@ -56,5 +58,6 @@ main()
     std::printf("  ...but only by a small increment (<2%%):      %s "
                 "(+%.2f%%)\n",
                 bump < 0.02 ? "yes" : "no", bump * 100.0);
+    benchFinish(cli);
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "bench_env.h"
 #include "harness/driver.h"
 #include "paper_refs.h"
 
@@ -69,9 +70,10 @@ measure(const std::string &name, double scale)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    double scale = benchScaleFromEnv();
+    BenchCli cli = benchCli("sec7_write_amp", argc, argv);
+    const double scale = cli.scale;
     std::printf("=== Sec. VII-3: write amplification on the NVM model "
                 "(scale %.3f) ===\n",
                 scale);
@@ -104,5 +106,6 @@ main()
                 all_small ? "yes" : "no");
     std::printf("  (Eager persistency's logging/flushing would "
                 "roughly double writes.)\n");
+    benchFinish(cli);
     return 0;
 }

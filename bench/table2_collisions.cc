@@ -12,15 +12,17 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "bench_env.h"
 #include "harness/driver.h"
 #include "paper_refs.h"
 
 using namespace gpulp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    double scale = benchScaleFromEnv();
+    BenchCli cli = benchCli("table2_collisions", argc, argv);
+    const double scale = cli.scale;
     std::printf("=== Table II: hash-table collisions (scale %.3f) ===\n",
                 scale);
 
@@ -61,5 +63,6 @@ main()
                         quad[2].store_stats.collisions
                     ? "yes"
                     : "no");
+    benchFinish(cli);
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "common/stats.h"
 #include "common/table.h"
+#include "bench_env.h"
 #include "harness/driver.h"
 #include "paper_refs.h"
 
@@ -32,9 +33,10 @@ config(TableKind table, LockMode lock)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    double scale = benchScaleFromEnv();
+    BenchCli cli = benchCli("table3_locks", argc, argv);
+    const double scale = cli.scale;
     std::printf("=== Table III: lock-based vs lock-free insertion "
                 "(scale %.3f) ===\n",
                 scale);
@@ -99,5 +101,6 @@ main()
     std::printf("  Low-block-count kernels stay mild "
                 "(TPACF/HISTO < 3x):     %s\n",
                 ql[1] < 3.0 && ql[5] < 3.0 ? "yes" : "no");
+    benchFinish(cli);
     return 0;
 }

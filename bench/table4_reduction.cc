@@ -12,6 +12,7 @@
 
 #include "common/stats.h"
 #include "common/table.h"
+#include "bench_env.h"
 #include "harness/driver.h"
 #include "paper_refs.h"
 
@@ -31,9 +32,10 @@ config(TableKind table, ReductionKind reduction)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    double scale = benchScaleFromEnv();
+    BenchCli cli = benchCli("table4_reduction", argc, argv);
+    const double scale = cli.scale;
     std::printf("=== Table IV: parallel (shfl) vs sequential (noshfl) "
                 "checksum reduction (scale %.3f) ===\n",
                 scale);
@@ -97,5 +99,6 @@ main()
     }
     std::printf("  SPMV (bandwidth bound) blows up hardest:     %s\n",
                 spmv_worst ? "yes" : "no");
+    benchFinish(cli);
     return 0;
 }

@@ -8,14 +8,14 @@
  * execution overhead and 1.63% space overhead.
  */
 
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
+#include "bench_env.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "harness/driver.h"
+#include "obs/counters.h"
 #include "paper_refs.h"
 
 using namespace gpulp;
@@ -23,37 +23,17 @@ using namespace gpulp;
 int
 main(int argc, char **argv)
 {
-    // CLI overrides for CI smoke runs: --scale mirrors GPULP_SCALE,
-    // --json emits a machine-readable result file next to the table.
-    double scale = benchScaleFromEnv();
-    const char *json_path = nullptr;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-            scale = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-            json_path = argv[++i];
-        } else {
-            std::fprintf(stderr, "usage: %s [--scale F] [--json PATH]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
-    if (scale <= 0.0 || scale > 1.0) {
-        std::fprintf(stderr, "--scale must be in (0, 1], got %f\n", scale);
-        return 2;
-    }
+    // Shared CLI: --scale (overrides GPULP_SCALE), --json, --trace.
+    BenchCli cli = benchCli("table5_global_array", argc, argv);
+    const double scale = cli.scale;
 
     std::printf("=== Table V: checksum global array + shuffle "
                 "(scale %.3f) ===\n",
                 scale);
 
-    auto wall_start = std::chrono::steady_clock::now();
     auto benches = makeSuite(scale);
     auto runs = measureSuite(benches, LpConfig::scalable());
-    double wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
+    double wall_seconds = cli.wallSeconds();
 
     TextTable table({"Benchmark", "array+shuffle", "(paper)",
                      "Space overhead", "(paper)"});
@@ -95,10 +75,12 @@ main(int argc, char **argv)
                     ? "yes"
                     : "no");
 
-    if (json_path) {
-        std::FILE *f = std::fopen(json_path, "w");
+    benchFlushTrace();
+    if (cli.json_path) {
+        std::FILE *f = std::fopen(cli.json_path, "w");
         if (!f) {
-            std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         cli.json_path);
             return 1;
         }
         std::fprintf(f, "{\n");
@@ -123,9 +105,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(runs[i].lp_cycles),
                 i + 1 < paper::kCount ? "," : "");
         }
-        std::fprintf(f, "  ]\n}\n");
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f, "  ");
+        obs::writeCountersJson(obs::snapshotCounters(), f, "  ");
+        std::fprintf(f, "\n}\n");
         std::fclose(f);
-        std::printf("\nwrote %s (%.3fs wall)\n", json_path, wall_seconds);
+        std::printf("\nwrote %s (%.3fs wall)\n", cli.json_path,
+                    wall_seconds);
     }
     return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/counters.h"
+
 namespace gpulp {
 
 namespace {
@@ -68,6 +70,8 @@ QuadProbeTable::QuadProbeTable(Device &dev, uint64_t num_keys,
     // acquire and need no declaration.
     if (mode_ == LockMode::NoAtomic)
         dev_.addOrderedRegion(entries_, capacity_ * kEntryBytes);
+    obs::observe(obs::Hist::StoreLoadFactorPct,
+                 static_cast<uint64_t>(lf * 100.0 + 0.5));
     clear();
 }
 
@@ -99,6 +103,7 @@ QuadProbeTable::insert(ThreadCtx &t, uint32_t key, Checksums cs)
 {
     GPULP_ASSERT(key != kEmptyKey, "key collides with the empty marker");
     bump(stats_.inserts);
+    obs::add(obs::Ctr::StoreQuadInserts);
     switch (mode_) {
       case LockMode::LockFree:
         insertLockFree(t, key, cs);
@@ -119,15 +124,18 @@ QuadProbeTable::insertLockFree(ThreadCtx &t, uint32_t key, Checksums cs)
     for (uint64_t i = 0; i < maxProbes(); ++i) {
         uint64_t slot = probeSlot(h, i);
         bump(stats_.probes);
+        obs::add(obs::Ctr::StoreQuadProbes);
         uint32_t old = t.atomicCAS(keyAddr(slot), kEmptyKey, key);
         if (old == kEmptyKey || old == key) {
             // Claimed (or re-inserting after recovery re-execution):
             // payload written plainly after the claim.
             t.storeAddr<uint32_t>(payloadAddr(slot), cs.sum);
             t.storeAddr<uint32_t>(payloadAddr(slot) + 4, cs.parity);
+            obs::observe(obs::Hist::StoreQuadProbeLen, i + 1);
             return;
         }
         bump(stats_.collisions);
+        obs::add(obs::Ctr::StoreQuadCollisions);
     }
     GPULP_PANIC("quad table full (%llu slots)",
                 static_cast<unsigned long long>(capacity_));
@@ -137,19 +145,23 @@ void
 QuadProbeTable::insertLockBased(ThreadCtx &t, uint32_t key, Checksums cs)
 {
     t.lockAcquire(lock_);
+    obs::add(obs::Ctr::StoreLockAcquires);
     uint32_t h = mixHash(key, 0x1234567u);
     for (uint64_t i = 0; i < maxProbes(); ++i) {
         uint64_t slot = probeSlot(h, i);
         bump(stats_.probes);
+        obs::add(obs::Ctr::StoreQuadProbes);
         uint32_t old = t.loadAddr<uint32_t>(keyAddr(slot));
         if (old == kEmptyKey || old == key) {
             t.storeAddr<uint32_t>(keyAddr(slot), key);
             t.storeAddr<uint32_t>(payloadAddr(slot), cs.sum);
             t.storeAddr<uint32_t>(payloadAddr(slot) + 4, cs.parity);
+            obs::observe(obs::Hist::StoreQuadProbeLen, i + 1);
             t.lockRelease(lock_);
             return;
         }
         bump(stats_.collisions);
+        obs::add(obs::Ctr::StoreQuadCollisions);
     }
     t.lockRelease(lock_);
     GPULP_PANIC("quad table full (%llu slots)",
@@ -169,6 +181,7 @@ QuadProbeTable::insertNoAtomic(ThreadCtx &t, uint32_t key, Checksums cs)
     for (uint64_t i = 0; i < maxProbes(); ++i) {
         uint64_t slot = probeSlot(h, i);
         bump(stats_.probes);
+        obs::add(obs::Ctr::StoreQuadProbes);
         uint32_t old = t.loadAddr<uint32_t>(keyAddr(slot));
         t.stall(rt);
         if (old == kEmptyKey || old == key) {
@@ -181,9 +194,11 @@ QuadProbeTable::insertNoAtomic(ThreadCtx &t, uint32_t key, Checksums cs)
                 (void)t.loadAddr<uint32_t>(keyAddr(slot));
                 t.stall(rt);
             }
+            obs::observe(obs::Hist::StoreQuadProbeLen, i + 1);
             return;
         }
         bump(stats_.collisions);
+        obs::add(obs::Ctr::StoreQuadCollisions);
     }
     GPULP_PANIC("quad table full (%llu slots)",
                 static_cast<unsigned long long>(capacity_));
@@ -256,6 +271,8 @@ CuckooTable::CuckooTable(Device &dev, uint64_t num_keys, LockMode mode,
         dev_.addOrderedRegion(tables_[0], per_table_ * kEntryBytes);
         dev_.addOrderedRegion(tables_[1], per_table_ * kEntryBytes);
     }
+    obs::observe(obs::Hist::StoreLoadFactorPct,
+                 static_cast<uint64_t>(lf * 100.0 + 0.5));
     clear();
 }
 
@@ -284,6 +301,7 @@ CuckooTable::insert(ThreadCtx &t, uint32_t key, Checksums cs)
 {
     GPULP_ASSERT(key != kEmptyKey, "key collides with the empty marker");
     bump(stats_.inserts);
+    obs::add(obs::Ctr::StoreCuckooInserts);
     switch (mode_) {
       case LockMode::LockFree:
         insertLockFree(t, key, cs);
@@ -318,6 +336,8 @@ CuckooTable::insertLockFree(ThreadCtx &t, uint32_t key, Checksums cs)
             return;
         bump(stats_.collisions);
         bump(stats_.kicks);
+        obs::add(obs::Ctr::StoreCuckooCollisions);
+        obs::add(obs::Ctr::StoreCuckooKicks);
         cur_key = old_key;
         cur = old_cs;
         table ^= 1;
@@ -332,6 +352,7 @@ void
 CuckooTable::insertLockBased(ThreadCtx &t, uint32_t key, Checksums cs)
 {
     t.lockAcquire(lock_);
+    obs::add(obs::Ctr::StoreLockAcquires);
     uint32_t cur_key = key;
     Checksums cur = cs;
     uint32_t table = 0;
@@ -351,6 +372,8 @@ CuckooTable::insertLockBased(ThreadCtx &t, uint32_t key, Checksums cs)
         }
         bump(stats_.collisions);
         bump(stats_.kicks);
+        obs::add(obs::Ctr::StoreCuckooCollisions);
+        obs::add(obs::Ctr::StoreCuckooKicks);
         cur_key = old_key;
         cur = old_cs;
         table ^= 1;
@@ -384,6 +407,8 @@ CuckooTable::insertNoAtomic(ThreadCtx &t, uint32_t key, Checksums cs)
             return;
         bump(stats_.collisions);
         bump(stats_.kicks);
+        obs::add(obs::Ctr::StoreCuckooCollisions);
+        obs::add(obs::Ctr::StoreCuckooKicks);
         cur_key = old_key;
         cur = old_cs;
         table ^= 1;
@@ -395,6 +420,7 @@ void
 CuckooTable::stashInsert(ThreadCtx &t, uint32_t key, Checksums cs)
 {
     bump(stats_.stash_inserts);
+    obs::add(obs::Ctr::StoreCuckooStashInserts);
     for (uint64_t slot = 0; slot < stash_slots_; ++slot) {
         Addr entry = stash_ + slot * kEntryBytes;
         uint32_t old = t.atomicCAS(entry, kEmptyKey, key);
@@ -501,6 +527,7 @@ void
 GlobalArrayStore::insert(ThreadCtx &t, uint32_t key, Checksums cs)
 {
     bump(stats_.inserts);
+    obs::add(obs::Ctr::StoreArrayInserts);
     // No key, no probe, no atomic: the block ID is the slot index, so
     // insertion is two plain stores (Sec. V) plus the occupancy byte.
     // The valid flag is out-of-band rather than an in-band sentinel so

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace gpulp {
 
 RecoverySet::RecoverySet(Device &dev, uint64_t num_blocks)
@@ -68,21 +71,31 @@ lpValidateAndRecover(
 
     while (report.rounds < max_rounds) {
         ++report.rounds;
+        obs::add(obs::Ctr::RecoveryRounds);
+        obs::TraceSpan round_span("recovery_round", "recovery",
+                                  report.rounds, "round");
 
         failed.clearAll();
-        LaunchResult validate = dev.launch(cfg, [&](ThreadCtx &t) {
-            validate_kernel(t, failed);
-        });
+        LaunchResult validate = [&] {
+            obs::TraceSpan span("validate", "recovery", report.rounds,
+                                "round");
+            return dev.launch(cfg, [&](ThreadCtx &t) {
+                validate_kernel(t, failed);
+            });
+        }();
         report.validate_cycles += validate.cycles;
         if (validate.crashed) {
             // A second failure hit while revalidating. Rewind to the
             // last persisted image (the eager checkpoint) and retry.
             ++report.crashes_survived;
+            obs::add(obs::Ctr::RecoveryCrashesSurvived);
             dev.nvm()->crash();
             continue;
         }
 
         uint64_t round_failed = failed.failedCount();
+        obs::add(obs::Ctr::RecoveryBlocksFlagged, round_failed);
+        obs::observe(obs::Hist::RecoveryRoundFlagged, round_failed);
         if (first_validation) {
             // The damage the original crash caused; later rounds only
             // shrink it, so this is what reports and tests care about.
@@ -91,19 +104,26 @@ lpValidateAndRecover(
         }
         if (round_failed == 0) {
             report.converged = true;
+            obs::add(obs::Ctr::RecoveryConverged);
             break;
         }
 
-        LaunchResult recover = dev.launch(cfg, [&](ThreadCtx &t) {
-            recover_kernel(t, failed);
-        });
+        LaunchResult recover = [&] {
+            obs::TraceSpan span("recover", "recovery", round_failed,
+                                "blocks");
+            return dev.launch(cfg, [&](ThreadCtx &t) {
+                recover_kernel(t, failed);
+            });
+        }();
         report.recover_cycles += recover.cycles;
         if (recover.crashed) {
             ++report.crashes_survived;
+            obs::add(obs::Ctr::RecoveryCrashesSurvived);
             dev.nvm()->crash();
             continue;
         }
         report.blocks_recovered += round_failed;
+        obs::add(obs::Ctr::RecoveryBlocksReexecuted, round_failed);
 
         // Eager recovery: persist the recovered state so forward
         // progress holds even if another crash strikes immediately.

@@ -1,5 +1,8 @@
 #include "region.h"
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace gpulp {
 
 Checksums
@@ -29,8 +32,12 @@ lpReduceBlock(ThreadCtx &t, const LpContext &lp, const ChecksumAccum &acc)
 void
 lpCommitRegion(ThreadCtx &t, const LpContext &lp, const ChecksumAccum &acc)
 {
+    // One span + counter per block region, recorded by block-thread 0.
+    obs::TraceSpan span("checksum_fold", "core", t.blockRank(), "block",
+                       t.flatThreadIdx() == 0);
     Checksums cs = lpReduceBlock(t, lp, acc);
     if (t.flatThreadIdx() == 0) {
+        obs::add(obs::Ctr::CoreRegionCommits);
         lp.store->insert(t, static_cast<uint32_t>(t.blockRank()), cs);
     }
 }
@@ -42,6 +49,7 @@ lpValidateRegion(ThreadCtx &t, const LpContext &lp,
     Checksums cs = lpReduceBlock(t, lp, recomputed);
     if (t.flatThreadIdx() != 0)
         return false;
+    obs::add(obs::Ctr::CoreRegionValidates);
     Checksums stored;
     if (!lp.store->lookup(static_cast<uint32_t>(t.blockRank()), &stored))
         return false;

@@ -6,6 +6,7 @@
 
 #include "common/prng.h"
 #include "core/recovery.h"
+#include "obs/trace.h"
 #include "core/runtime.h"
 #include "nvm/nvm_cache.h"
 #include "sim/device.h"
@@ -275,14 +276,17 @@ runFaultCampaign(const CampaignOptions &opts)
 
     CampaignResult result;
     result.options = opts;
+    obs::TraceSpan span("fault_campaign", "harness");
     for (const std::string &name : opts.workloads) {
         for (TableKind table : opts.tables) {
             for (ChecksumKind kind : opts.checksums) {
+                obs::TraceSpan cell_span("campaign_cell", "harness");
                 result.cells.push_back(runCell(opts, name, table, kind,
                                                &result.workers));
             }
         }
     }
+    result.counters = obs::snapshotCounters();
     return result;
 }
 
@@ -354,7 +358,10 @@ writeCampaignJson(const CampaignResult &result, std::FILE *out)
         std::fprintf(out, "    }%s\n",
                      c + 1 < result.cells.size() ? "," : "");
     }
-    std::fprintf(out, "  ]\n}\n");
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  ");
+    obs::writeCountersJson(result.counters, out, "  ");
+    std::fprintf(out, "\n}\n");
 }
 
 } // namespace gpulp

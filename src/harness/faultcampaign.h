@@ -40,6 +40,7 @@
 
 #include "core/lp_config.h"
 #include "mem/timing.h"
+#include "obs/counters.h"
 
 namespace gpulp {
 
@@ -117,6 +118,10 @@ struct CampaignResult {
     CampaignOptions options;
     uint32_t workers = 0;         //!< resolved worker count actually used
     std::vector<CellResult> cells;
+
+    /** obs counter totals over the whole campaign (empty when counter
+     *  collection is disabled); embedded in the JSON report. */
+    obs::CountersSnapshot counters;
 
     bool
     passed() const

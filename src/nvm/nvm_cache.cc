@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace gpulp {
 
 NvmCache::NvmCache(GlobalMemory &mem, const NvmParams &params)
@@ -24,6 +27,7 @@ NvmCache::onStore(Addr addr, size_t bytes)
 {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.stores_observed;
+    obs::add(obs::Ctr::NvmStoresObserved);
     // The crash latch is checked *before* the cache is touched: the
     // store that trips the countdown is the first casualty of the
     // power failure and must never reach the persistence domain (no
@@ -44,15 +48,19 @@ NvmCache::onStore(Addr addr, size_t bytes)
         // latch before their SimCrash unwinds must not keep persisting
         // state. Count them for diagnostics but mutate nothing.
         ++stats_.stores_after_crash;
+        obs::add(obs::Ctr::NvmStoresAfterCrash);
         return;
     }
     Addr first_line = addr / params_.line_bytes;
     Addr last_line = (addr + bytes - 1) / params_.line_bytes;
     for (Addr line = first_line; line <= last_line; ++line) {
-        if (access(line * params_.line_bytes, /*is_store=*/true))
+        if (access(line * params_.line_bytes, /*is_store=*/true)) {
             ++stats_.store_hits;
-        else
+            obs::add(obs::Ctr::NvmStoreHits);
+        } else {
             ++stats_.store_misses;
+            obs::add(obs::Ctr::NvmStoreMisses);
+        }
     }
 }
 
@@ -65,10 +73,13 @@ NvmCache::onLoad(Addr addr, size_t bytes)
     Addr first_line = addr / params_.line_bytes;
     Addr last_line = (addr + bytes - 1) / params_.line_bytes;
     for (Addr line = first_line; line <= last_line; ++line) {
-        if (access(line * params_.line_bytes, /*is_store=*/false))
+        if (access(line * params_.line_bytes, /*is_store=*/false)) {
             ++stats_.load_hits;
-        else
+            obs::add(obs::Ctr::NvmLoadHits);
+        } else {
             ++stats_.load_misses;
+            obs::add(obs::Ctr::NvmLoadMisses);
+        }
     }
 }
 
@@ -103,12 +114,15 @@ NvmCache::access(Addr line_start, bool is_store)
         if (ways[victim].dirty) {
             writebackLine(ways[victim].tag);
             ++stats_.dirty_evictions;
+            obs::add(obs::Ctr::NvmDirtyEvictions);
         } else {
             ++stats_.clean_evictions;
+            obs::add(obs::Ctr::NvmCleanEvictions);
         }
     }
     ways[victim] = Line{tag, tick_, true, is_store};
     ++stats_.nvm_line_reads; // fill from NVM
+    obs::add(obs::Ctr::NvmFills);
     return false;
 }
 
@@ -126,18 +140,23 @@ NvmCache::writebackLine(uint64_t tag)
 void
 NvmCache::persistAll()
 {
+    obs::TraceSpan span("persist_all", "nvm");
     std::lock_guard<std::mutex> lk(mu_);
     if (crashPending())
         return; // power already failed; nothing can reach NVM now
+    obs::add(obs::Ctr::NvmPersistAlls);
     // Publish the whole arena (covers host raw() writes that never went
     // through the observer) and clean every line.
     std::memcpy(shadow_.data(), mem_.raw(0), mem_.used());
+    uint64_t flushed = 0;
     for (auto &line : lines_) {
         if (line.valid && line.dirty) {
             line.dirty = false;
             ++stats_.flushed_lines;
+            ++flushed;
         }
     }
+    obs::add(obs::Ctr::NvmFlushedLines, flushed);
 }
 
 uint64_t
@@ -152,6 +171,9 @@ NvmCache::crash()
             ++torn;
     }
     stats_.torn_lines += torn;
+    obs::add(obs::Ctr::NvmCrashes);
+    obs::add(obs::Ctr::NvmTornLines, torn);
+    obs::traceInstant("crash", "nvm", torn, "torn_lines");
     // Volatile state is lost: rewind the arena to the NVM image.
     std::memcpy(mem_.raw(0), shadow_.data(), mem_.used());
     for (auto &line : lines_)
@@ -179,6 +201,7 @@ NvmCache::flushRange(Addr addr, size_t bytes)
                 writebackLine(tag);
                 ways[w].dirty = false;
                 ++stats_.flushed_lines;
+                obs::add(obs::Ctr::NvmFlushedLines);
                 ++flushed;
             }
         }

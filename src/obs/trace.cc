@@ -1,0 +1,232 @@
+#include "trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gpulp::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** One buffered event; dur_us == UINT64_MAX marks an instant. */
+struct Event {
+    const char *name;
+    const char *cat;
+    const char *arg_name; //!< nullptr when the event carries no arg
+    uint64_t ts_us;
+    uint64_t dur_us;
+    uint64_t arg;
+    uint32_t tid;
+};
+
+struct TraceState {
+    std::mutex mu;
+    std::vector<Event> events;
+    std::string chrome_path;
+    Clock::time_point epoch;
+    uint32_t next_tid = 0;
+    bool atexit_registered = false;
+};
+
+TraceState &
+state()
+{
+    static TraceState *s = new TraceState(); // leaked: see Registry
+    return *s;
+}
+
+/** Stable small id per host thread — one Chrome track per worker. */
+uint32_t
+threadTid()
+{
+    thread_local uint32_t tid = [] {
+        TraceState &s = state();
+        std::lock_guard<std::mutex> lk(s.mu);
+        return s.next_tid++;
+    }();
+    return tid;
+}
+
+void
+atexitFlush()
+{
+    if (traceEnabled())
+        flushTrace();
+}
+
+void
+writeEventArgs(std::FILE *f, const Event &e)
+{
+    if (e.arg_name != nullptr) {
+        std::fprintf(f, ", \"args\": {\"%s\": %" PRIu64 "}", e.arg_name,
+                     e.arg);
+    }
+}
+
+bool
+writeChromeJson(const TraceState &s)
+{
+    std::FILE *f = std::fopen(s.chrome_path.c_str(), "w");
+    if (f == nullptr) {
+        GPULP_WARN("cannot write Chrome trace to %s",
+                   s.chrome_path.c_str());
+        return false;
+    }
+    std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    // One process, one track per host thread; name the process so
+    // Perfetto shows something meaningful in the track header.
+    std::fprintf(f,
+                 "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+                 "\"tid\": 0, \"args\": {\"name\": \"gpulp\"}}");
+    for (const Event &e : s.events) {
+        std::fprintf(f, ",\n");
+        if (e.dur_us == UINT64_MAX) {
+            std::fprintf(f,
+                         "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": "
+                         "\"i\", \"s\": \"t\", \"ts\": %" PRIu64
+                         ", \"pid\": 1, \"tid\": %u",
+                         e.name, e.cat, e.ts_us, e.tid);
+        } else {
+            std::fprintf(f,
+                         "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": "
+                         "\"X\", \"ts\": %" PRIu64 ", \"dur\": %" PRIu64
+                         ", \"pid\": 1, \"tid\": %u",
+                         e.name, e.cat, e.ts_us, e.dur_us, e.tid);
+        }
+        writeEventArgs(f, e);
+        std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    return true;
+}
+
+bool
+writeJsonl(const TraceState &s)
+{
+    const std::string path = s.chrome_path + ".jsonl";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        GPULP_WARN("cannot write JSONL trace to %s", path.c_str());
+        return false;
+    }
+    for (const Event &e : s.events) {
+        std::fprintf(f, "{\"ts_us\": %" PRIu64 ", ", e.ts_us);
+        if (e.dur_us != UINT64_MAX)
+            std::fprintf(f, "\"dur_us\": %" PRIu64 ", ", e.dur_us);
+        std::fprintf(f, "\"tid\": %u, \"name\": \"%s\", \"cat\": \"%s\"",
+                     e.tid, e.name, e.cat);
+        if (e.arg_name != nullptr)
+            std::fprintf(f, ", \"%s\": %" PRIu64, e.arg_name, e.arg);
+        std::fprintf(f, "}\n");
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+uint64_t
+nowUs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - state().epoch)
+            .count());
+}
+
+void
+recordSpan(const char *name, const char *cat, uint64_t start_us,
+           uint64_t end_us, uint64_t arg, const char *arg_name)
+{
+    // Enabled-state may have flipped since the span opened; buffering
+    // one extra event is harmless.
+    const uint32_t tid = threadTid();
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.events.push_back(Event{name, cat, arg_name, start_us,
+                             end_us - start_us, arg, tid});
+}
+
+} // namespace detail
+
+void
+enableTrace(const std::string &chrome_path)
+{
+    GPULP_ASSERT(!chrome_path.empty(), "empty trace path");
+    TraceState &s = state();
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        s.events.clear();
+        s.chrome_path = chrome_path;
+        s.epoch = Clock::now();
+        if (!s.atexit_registered) {
+            std::atexit(atexitFlush);
+            s.atexit_registered = true;
+        }
+    }
+    detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+disableTrace()
+{
+    detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.events.clear();
+    s.chrome_path.clear();
+}
+
+std::string
+tracePath()
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.chrome_path;
+}
+
+void
+traceInstant(const char *name, const char *cat, uint64_t arg,
+             const char *arg_name)
+{
+    if (!traceEnabled())
+        return;
+    const uint64_t ts = detail::nowUs();
+    const uint32_t tid = threadTid();
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.events.push_back(
+        Event{name, cat, arg_name, ts, UINT64_MAX, arg, tid});
+}
+
+bool
+flushTrace()
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.chrome_path.empty())
+        return false;
+    return writeChromeJson(s) && writeJsonl(s);
+}
+
+size_t
+traceEventCount()
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.events.size();
+}
+
+} // namespace gpulp::obs

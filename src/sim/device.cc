@@ -7,11 +7,17 @@
 #include <thread>
 #include <vector>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace gpulp {
 
 Device::Device(DeviceParams params)
     : params_(params), mem_(params.arena_bytes), timing_(params.timing)
 {
+    // Every binary constructs a Device, so this is where GPULP_TRACE /
+    // GPULP_COUNTERS take effect without per-tool plumbing.
+    obs::initFromEnvOnce();
 }
 
 Device::~Device() = default;
@@ -62,6 +68,8 @@ Device::runBlockLocal(const LaunchConfig &cfg, uint64_t rank,
                       RankGate *gate, BlockOutcome &out)
 {
     ws.timing.reset();
+    obs::add(obs::Ctr::SimBlocks);
+    obs::TraceSpan block_span("block", "sim", rank, "rank");
     Dim3 block_idx = cfg.blockIdxOf(rank);
     BlockState state(mem_, ws.timing, nvm_, block_idx, cfg, /*start=*/0,
                      params_.shared_bytes, gate, rank, &ordered_regions_);
@@ -130,6 +138,8 @@ Device::runBlockLocal(const LaunchConfig &cfg, uint64_t rank,
     for (const ThreadCtx &ctx : ctxs)
         end = std::max(end, ctx.now());
     out.local_end = end;
+    obs::add(obs::Ctr::SimWarps, (n + kWarpSize - 1) / kWarpSize);
+    obs::observe(obs::Hist::SimBlockCycles, end);
     out.stats = ws.timing.stats();
     out.events = ws.timing.takeTrace();
     if (!out.events.empty()) {
@@ -161,6 +171,8 @@ Device::launch(const LaunchConfig &cfg, const KernelFn &kernel)
 
     const uint64_t num_blocks = cfg.numBlocks();
     GPULP_ASSERT(num_blocks > 0, "empty grid");
+    obs::add(obs::Ctr::SimLaunches);
+    obs::TraceSpan launch_span("launch", "sim", num_blocks, "blocks");
 
     const uint32_t workers = static_cast<uint32_t>(
         std::min<uint64_t>(resolveWorkers(), num_blocks));

@@ -4,6 +4,7 @@
 
 #include "common/floatbits.h"
 #include "fiber/fiber.h"
+#include "obs/counters.h"
 
 namespace gpulp {
 
@@ -70,6 +71,8 @@ BlockState::gateOrdering()
 {
     if (gate_leader_ || gate_ == nullptr)
         return;
+    if (!gate_->isLeader(rank_))
+        obs::add(obs::Ctr::SimGateWaits); // one per wait episode
     while (!gate_->isLeader(rank_)) {
         checkCrash();
         // Not a progress event: the runner distinguishes "stalled on
@@ -252,6 +255,7 @@ ThreadCtx::syncthreads()
 {
     BlockState &b = block_;
     b.checkCrash();
+    obs::add(obs::Ctr::SimBarrierWaits);
     uint64_t gen = b.bar_generation_;
     b.bar_max_arrival_ = std::max(b.bar_max_arrival_, cycles_);
     ++b.bar_arrived_;
@@ -269,6 +273,7 @@ ThreadCtx::shflDownRaw(uint64_t value, uint32_t delta)
 {
     BlockState &b = block_;
     b.checkCrash();
+    obs::add(obs::Ctr::SimShuffles);
     WarpState &w = b.warps_[warpId()];
     uint32_t lane = laneId();
     uint64_t gen = w.generation;

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Observability layer tests: counter-shard merge correctness under
+ * concurrent bumping (the property the per-worker sharding exists
+ * for), zero-overhead-when-disabled semantics, trace JSON
+ * well-formedness (parsed back with a minimal JSON reader), catalog
+ * invariants that docs/METRICS.md relies on, and the fault-campaign
+ * JSON embedding a counter snapshot.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/faultcampaign.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace gpulp::obs {
+namespace {
+
+/**
+ * Counter state is process-global, so every test starts from a clean,
+ * enabled registry and leaves collection disabled (the library
+ * default) for whichever test binary section runs next.
+ */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        resetCounters();
+        setCountersEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        setCountersEnabled(false);
+        disableTrace();
+        resetCounters();
+    }
+};
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON reader — just enough to verify that
+// the traces and counter reports we emit are real JSON (objects,
+// arrays, strings with escapes, numbers, booleans, null).
+// ---------------------------------------------------------------------
+
+struct JsonParser {
+    const std::string &text;
+    size_t pos = 0;
+    bool ok = true;
+
+    void
+    ws()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    eat(char c)
+    {
+        ws();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    fail()
+    {
+        ok = false;
+        pos = text.size();
+    }
+
+    void
+    string()
+    {
+        if (!eat('"'))
+            return fail();
+        while (pos < text.size() && text[pos] != '"') {
+            if (text[pos] == '\\')
+                ++pos; // skip escaped char
+            ++pos;
+        }
+        if (!eat('"'))
+            fail();
+    }
+
+    void
+    number()
+    {
+        size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '-' || text[pos] == '+')) {
+            ++pos;
+        }
+        if (pos == start)
+            fail();
+    }
+
+    void
+    value()
+    {
+        ws();
+        if (pos >= text.size())
+            return fail();
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            if (eat('}'))
+                return;
+            do {
+                string();
+                if (!eat(':'))
+                    return fail();
+                value();
+            } while (ok && eat(','));
+            if (!eat('}'))
+                fail();
+        } else if (c == '[') {
+            ++pos;
+            if (eat(']'))
+                return;
+            do {
+                value();
+            } while (ok && eat(','));
+            if (!eat(']'))
+                fail();
+        } else if (c == '"') {
+            string();
+        } else if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+        } else if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+        } else if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+        } else {
+            number();
+        }
+    }
+};
+
+/** Parse @p text; true iff it is one complete JSON value. */
+bool
+parseJson(const std::string &text)
+{
+    JsonParser p{text};
+    p.value();
+    p.ws();
+    return p.ok && p.pos == p.text.size();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::string out;
+    if (f != nullptr) {
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            out.append(buf, n);
+        std::fclose(f);
+    }
+    return out;
+}
+
+std::string
+tmpPath(const char *stem)
+{
+    return ::testing::TempDir() + stem;
+}
+
+// ---------------------------------------------------------------------
+// Counter merge correctness
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, SingleThreadTotalsAreExact)
+{
+    add(Ctr::SimBlocks, 3);
+    add(Ctr::SimBlocks);
+    add(Ctr::NvmTornLines, 41);
+    CountersSnapshot snap = snapshotCounters();
+    EXPECT_EQ(snap[Ctr::SimBlocks], 4u);
+    EXPECT_EQ(snap[Ctr::NvmTornLines], 41u);
+    EXPECT_EQ(snap[Ctr::NvmFills], 0u);
+}
+
+TEST_F(ObsTest, MergesShardsFromConcurrentThreads)
+{
+    // The shape the design exists for: 8 workers (as in the PR-1 pool)
+    // bumping the same counters concurrently, each from its own leased
+    // shard. The merged totals must be exact once the threads joined —
+    // including the contributions of shards whose threads have died.
+    constexpr int kThreads = 8;
+    constexpr uint64_t kBumps = 10000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([] {
+            for (uint64_t n = 0; n < kBumps; ++n) {
+                add(Ctr::SimBlocks);
+                add(Ctr::StoreQuadProbes, 2);
+                observe(Hist::StoreQuadProbeLen, n % 7 + 1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    CountersSnapshot snap = snapshotCounters();
+    EXPECT_EQ(snap[Ctr::SimBlocks], kThreads * kBumps);
+    EXPECT_EQ(snap[Ctr::StoreQuadProbes], 2 * kThreads * kBumps);
+    const HistSnapshot &h = snap[Hist::StoreQuadProbeLen];
+    EXPECT_EQ(h.count, kThreads * kBumps);
+    EXPECT_EQ(h.min, 1u);
+    EXPECT_EQ(h.max, 7u);
+    uint64_t bucket_total = 0;
+    for (uint64_t b : h.buckets)
+        bucket_total += b;
+    EXPECT_EQ(bucket_total, h.count);
+}
+
+TEST_F(ObsTest, ShardsSurviveThreadDeathAndAreReused)
+{
+    // A thread's totals must not vanish with the thread, and a later
+    // thread reuses the retired shard rather than growing the registry.
+    std::thread([] { add(Ctr::RecoveryRounds, 5); }).join();
+    EXPECT_EQ(snapshotCounters()[Ctr::RecoveryRounds], 5u);
+    std::thread([] { add(Ctr::RecoveryRounds, 7); }).join();
+    EXPECT_EQ(snapshotCounters()[Ctr::RecoveryRounds], 12u);
+}
+
+TEST_F(ObsTest, DisabledMeansZeroCounters)
+{
+    setCountersEnabled(false);
+    add(Ctr::SimBlocks, 100);
+    observe(Hist::SimBlockCycles, 12345);
+    CountersSnapshot snap = snapshotCounters();
+    EXPECT_EQ(snap[Ctr::SimBlocks], 0u);
+    EXPECT_EQ(snap[Hist::SimBlockCycles].count, 0u);
+    // And the JSON of an all-zero snapshot is the empty object.
+    EXPECT_EQ(countersJson(snap), "{}");
+    EXPECT_TRUE(parseJson(countersJson(snap)));
+}
+
+TEST_F(ObsTest, ResetZeroesEverything)
+{
+    add(Ctr::NvmCrashes, 3);
+    observe(Hist::RecoveryRoundFlagged, 9);
+    resetCounters();
+    CountersSnapshot snap = snapshotCounters();
+    EXPECT_EQ(snap[Ctr::NvmCrashes], 0u);
+    EXPECT_EQ(snap[Hist::RecoveryRoundFlagged].count, 0u);
+}
+
+TEST_F(ObsTest, HistogramBucketsArePowerOfTwo)
+{
+    observe(Hist::SimBlockCycles, 0);    // bit_width(0) = 0
+    observe(Hist::SimBlockCycles, 1);    // 1
+    observe(Hist::SimBlockCycles, 1023); // 10
+    observe(Hist::SimBlockCycles, 1024); // 11
+    CountersSnapshot snap = snapshotCounters();
+    const HistSnapshot &h = snap[Hist::SimBlockCycles];
+    EXPECT_EQ(h.buckets[0], 1u);
+    EXPECT_EQ(h.buckets[1], 1u);
+    EXPECT_EQ(h.buckets[10], 1u);
+    EXPECT_EQ(h.buckets[11], 1u);
+    EXPECT_EQ(h.min, 0u);
+    EXPECT_EQ(h.max, 1024u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0.0 + 1 + 1023 + 1024) / 4);
+}
+
+TEST_F(ObsTest, CountersJsonIsValidJson)
+{
+    add(Ctr::StoreCuckooKicks, 17);
+    add(Ctr::NvmFlushedLines, 9);
+    observe(Hist::StoreQuadProbeLen, 3);
+    std::string json = countersJson(snapshotCounters(), "  ");
+    EXPECT_TRUE(parseJson(json)) << json;
+    EXPECT_NE(json.find("\"store.cuckoo.kicks\": 17"), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    // Zero counters are elided.
+    EXPECT_EQ(json.find("\"nvm.crashes\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Catalog invariants (docs/METRICS.md mirrors the X-macro lists)
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, CatalogIsWellFormed)
+{
+    std::set<std::string> seen;
+    const std::set<std::string> subsystems = {"nvm", "store", "sim",
+                                             "core", "recovery"};
+    for (size_t c = 0; c < kNumCounters; ++c) {
+        Ctr ctr = static_cast<Ctr>(c);
+        std::string n = name(ctr);
+        EXPECT_TRUE(seen.insert(n).second) << "duplicate name " << n;
+        EXPECT_TRUE(subsystems.count(subsystem(ctr)))
+            << n << " has unknown subsystem " << subsystem(ctr);
+        // Dotted names start with their subsystem: "nvm.fills" etc.
+        EXPECT_EQ(n.rfind(std::string(subsystem(ctr)) + ".", 0), 0u) << n;
+        EXPECT_NE(std::string(unit(ctr)), "") << n;
+    }
+    for (size_t h = 0; h < kNumHistograms; ++h) {
+        Hist hist = static_cast<Hist>(h);
+        std::string n = name(hist);
+        EXPECT_TRUE(seen.insert(n).second) << "duplicate name " << n;
+        EXPECT_TRUE(subsystems.count(subsystem(hist)))
+            << n << " has unknown subsystem " << subsystem(hist);
+        EXPECT_EQ(n.rfind(std::string(subsystem(hist)) + ".", 0), 0u)
+            << n;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace sink
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, TraceChromeJsonParsesBack)
+{
+    const std::string path = tmpPath("obs_trace.json");
+    enableTrace(path);
+    {
+        TraceSpan outer("launch", "sim", 4, "blocks");
+        TraceSpan inner("block", "sim", 0, "rank");
+        traceInstant("crash", "nvm", 3, "torn_lines");
+    }
+    EXPECT_EQ(traceEventCount(), 3u);
+    ASSERT_TRUE(flushTrace());
+
+    std::string chrome = readFile(path);
+    EXPECT_TRUE(parseJson(chrome)) << chrome;
+    EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(chrome.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(chrome.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(chrome.find("\"torn_lines\": 3"), std::string::npos);
+
+    // The JSONL sidecar: one JSON object per line.
+    std::string jsonl = readFile(path + ".jsonl");
+    size_t lines = 0, start = 0;
+    while (start < jsonl.size()) {
+        size_t nl = jsonl.find('\n', start);
+        ASSERT_NE(nl, std::string::npos);
+        EXPECT_TRUE(parseJson(jsonl.substr(start, nl - start)));
+        ++lines;
+        start = nl + 1;
+    }
+    EXPECT_EQ(lines, 3u);
+}
+
+TEST_F(ObsTest, TraceSpansAreNoOpWhenDisabled)
+{
+    {
+        TraceSpan span("launch", "sim");
+        traceInstant("crash", "nvm");
+    }
+    EXPECT_FALSE(traceEnabled());
+    EXPECT_EQ(traceEventCount(), 0u);
+    EXPECT_FALSE(flushTrace()); // nothing to write, no path
+}
+
+TEST_F(ObsTest, InactiveSpanRecordsNothing)
+{
+    enableTrace(tmpPath("obs_trace_inactive.json"));
+    {
+        // The conditional-span form used by lpCommitRegion: only
+        // block-thread 0 passes active=true.
+        TraceSpan span("checksum_fold", "core", 7, "block",
+                       /*active=*/false);
+    }
+    EXPECT_EQ(traceEventCount(), 0u);
+}
+
+TEST_F(ObsTest, ConcurrentSpansGetPerThreadTracks)
+{
+    enableTrace(tmpPath("obs_trace_threads.json"));
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([] {
+            for (int n = 0; n < 50; ++n)
+                TraceSpan span("block", "sim");
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(traceEventCount(), kThreads * 50u);
+    ASSERT_TRUE(flushTrace());
+    EXPECT_TRUE(parseJson(readFile(tracePath())));
+}
+
+// ---------------------------------------------------------------------
+// Fault campaign embeds a counter snapshot
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, FaultCampaignJsonEmbedsCounters)
+{
+    CampaignOptions opts;
+    opts.scale = 0.004;
+    opts.grid_points = 2;
+    opts.random_points = 0;
+    opts.workloads = {"spmv"};
+    opts.tables = {TableKind::GlobalArray};
+    CampaignResult result = runFaultCampaign(opts);
+    EXPECT_TRUE(result.passed());
+
+    // The snapshot is carried in the result itself...
+    EXPECT_GT(result.counters[Ctr::SimLaunches], 0u);
+    EXPECT_GT(result.counters[Ctr::StoreArrayInserts], 0u);
+    EXPECT_GT(result.counters[Ctr::NvmCrashes], 0u);
+    EXPECT_GT(result.counters[Ctr::RecoveryRounds], 0u);
+
+    // ...and the JSON report embeds it as a "counters" object.
+    const std::string path = tmpPath("obs_campaign.json");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    writeCampaignJson(result, f);
+    std::fclose(f);
+    std::string json = readFile(path);
+    EXPECT_TRUE(parseJson(json)) << json;
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"store.array.inserts\""), std::string::npos);
+}
+
+} // namespace
+} // namespace gpulp::obs

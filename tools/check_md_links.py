@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Walks every *.md file in the repository (skipping build/ and .git/),
+extracts inline links and images, and verifies that each link targeting
+a repository path resolves to an existing file or directory. External
+links (http/https/mailto) are not fetched -- CI must not depend on
+network reachability -- but a bare-anchor link into another file
+(FILE.md#section) checks only the FILE.md part.
+
+Exit status: 0 when every intra-repo link resolves, 1 otherwise, with
+one "file:line: broken link" diagnostic per failure.
+
+Usage: tools/check_md_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+# Inline markdown links/images: [text](target) / ![alt](target).
+# Reference-style definitions: [label]: target
+INLINE_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)?)\)")
+REFDEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+
+SKIP_DIRS = {".git", "build", ".claude", "node_modules"}
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def iter_links(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        in_fence = False
+        for lineno, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in INLINE_RE.finditer(line):
+                yield lineno, match.group(1)
+            match = REFDEF_RE.match(line)
+            if match:
+                yield lineno, match.group(1)
+
+
+def check_file(path, root):
+    errors = []
+    for lineno, target in iter_links(path):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        # Strip an anchor; a pure in-page anchor needs no file check.
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        if target.startswith("/"):
+            resolved = os.path.join(root, target.lstrip("/"))
+        else:
+            resolved = os.path.join(os.path.dirname(path), target)
+        if not os.path.exists(resolved):
+            rel = os.path.relpath(path, root)
+            errors.append(f"{rel}:{lineno}: broken link: {target}")
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    all_errors = []
+    count = 0
+    for path in sorted(md_files(root)):
+        count += 1
+        all_errors.extend(check_file(path, root))
+    for err in all_errors:
+        print(err)
+    print(f"checked {count} markdown files: "
+          f"{'OK' if not all_errors else f'{len(all_errors)} broken links'}")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

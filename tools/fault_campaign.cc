@@ -15,7 +15,12 @@
  *                  [--workers N] [--workloads a,b,c]
  *                  [--tables quad,cuckoo,array]
  *                  [--checksums modular,parity,both]
- *                  [--json PATH] [--quiet]
+ *                  [--json PATH] [--trace PATH] [--quiet]
+ *
+ * Counters are collected by default (GPULP_COUNTERS=0 vetoes) and the
+ * whole-campaign totals are embedded in the --json report under
+ * "counters"; --trace additionally records a Chrome trace of every
+ * launch, validate/recover round and crash (see obs/trace.h).
  */
 
 #include <cstdio>
@@ -26,6 +31,8 @@
 
 #include "harness/driver.h"
 #include "harness/faultcampaign.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 using namespace gpulp;
 
@@ -93,7 +100,7 @@ usage(const char *argv0)
         "          [--workers N] [--workloads a,b,c]\n"
         "          [--tables quad,cuckoo,array]\n"
         "          [--checksums modular,parity,both]\n"
-        "          [--json PATH] [--quiet]\n",
+        "          [--json PATH] [--trace PATH] [--quiet]\n",
         argv0);
     return 2;
 }
@@ -105,6 +112,7 @@ main(int argc, char **argv)
 {
     CampaignOptions opts;
     const char *json_path = nullptr;
+    const char *trace_path = nullptr;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -138,12 +146,21 @@ main(int argc, char **argv)
                 opts.checksums.push_back(parseChecksum(k));
         } else if (std::strcmp(argv[i], "--json") == 0) {
             json_path = value("--json");
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            trace_path = value("--trace");
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
         } else {
             return usage(argv[0]);
         }
     }
+
+    // The campaign is a measurement tool: counters default ON (the
+    // library default is OFF); GPULP_COUNTERS=0 / GPULP_TRACE apply.
+    obs::setCountersEnabled(true);
+    obs::initFromEnvOnce();
+    if (trace_path != nullptr)
+        obs::enableTrace(trace_path);
 
     CampaignResult result = runFaultCampaign(opts);
 
@@ -178,6 +195,9 @@ main(int argc, char **argv)
                     result.passed() ? "PASS" : "FAIL");
     }
 
+    if (obs::traceEnabled() && obs::flushTrace() && !quiet)
+        std::printf("wrote Chrome trace %s (+.jsonl)\n",
+                    obs::tracePath().c_str());
     if (json_path) {
         std::FILE *f = std::fopen(json_path, "w");
         if (!f) {

@@ -170,6 +170,13 @@ class MemTiming
     Cycles onGlobalStore(size_t bytes);
 
     /**
+     * Record @p bytes of write-back traffic against the bandwidth
+     * roofline without issuing a store (clwb draining dirty lines to
+     * NVM: the data moves, but no new store instruction retires).
+     */
+    void onWriteBack(size_t bytes) { stats_.bytes_written += bytes; }
+
+    /**
      * Serialize an atomic on @p addr issued at absolute cycle @p now by
      * flat thread @p tid.
      *

@@ -39,6 +39,10 @@ NvmCache::onStore(Addr addr, size_t bytes)
     if (crash_armed_ && !crashPending()) {
         if (crash_countdown_ == 0) {
             crash_pending_.store(true, std::memory_order_release);
+            // Wake anything parked on the rank gate: with event-driven
+            // waits there is no timed re-poll to notice the latch.
+            if (abort_notifier_)
+                abort_notifier_();
         } else {
             --crash_countdown_;
         }

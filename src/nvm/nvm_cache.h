@@ -41,6 +41,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -157,6 +158,21 @@ class NvmCache : public MemObserver
         return crash_pending_.load(std::memory_order_acquire);
     }
 
+    /**
+     * Register @p fn (or clear with an empty function) to be invoked
+     * exactly when the crash latch trips. Device::launch points this at
+     * RankGate::notifyAbort so workers parked on the gate wake the
+     * moment power "fails" instead of waiting for a frontier advance
+     * that may never come. Invoked with the cache's mutex held — the
+     * callee must not re-enter the cache.
+     */
+    void
+    setAbortNotifier(std::function<void()> fn)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        abort_notifier_ = std::move(fn);
+    }
+
     // Introspection ----------------------------------------------------------
 
     /**
@@ -224,6 +240,7 @@ class NvmCache : public MemObserver
     bool crash_armed_ = false;
     std::atomic<bool> crash_pending_{false};
     uint64_t crash_countdown_ = 0;
+    std::function<void()> abort_notifier_; //!< fired when the latch trips
 };
 
 } // namespace gpulp

@@ -87,6 +87,8 @@ namespace gpulp::obs {
     X(SimBarrierWaits,     "sim.barrier_waits",      "arrivals", "sim")       \
     X(SimShuffles,         "sim.shuffles",           "exchanges", "sim")      \
     X(SimGateWaits,        "sim.gate_waits",         "episodes", "sim")       \
+    X(SimFiberSwitches,    "sim.fiber_switches",     "resumes", "sim")        \
+    X(SimFiberWakeups,     "sim.fiber_wakeups",      "threads", "sim")        \
     /* core: LP region protocol (src/core/region.cc) */                       \
     X(CoreRegionCommits,   "core.region_commits",    "blocks",  "core")       \
     X(CoreRegionValidates, "core.region_validates",  "blocks",  "core")       \

@@ -104,26 +104,27 @@ Device::runBlockLocal(const LaunchConfig &cfg, uint64_t rank,
             &ws.stacks));
     }
 
-    // Round-robin scheduling with deadlock detection: a full pass in
-    // which nothing arrives, releases or exits means the block cannot
-    // progress on its own. If threads are parked on the rank gate the
-    // block is waiting for lower ranks, not deadlocked — park the
-    // worker until the frontier moves (or a crash latches) and rescan.
+    // Event-driven scheduling: resume ready fibers in cyclic flat-tid
+    // order; fibers parked on a collective or the rank gate rejoin the
+    // ready set only when their event releases, never to re-poll. An
+    // empty ready set with live threads means either every live thread
+    // is parked on the rank gate (the block waits for lower ranks —
+    // park the worker on the gate until the frontier moves or a crash
+    // latches) or the block genuinely deadlocked.
+    uint32_t last = BlockState::kNoThread;
+    uint64_t switches = 0; // folded into SimFiberSwitches once per block
     while (state.liveThreads() > 0) {
-        uint64_t before = state.progress();
-        state.resetGateStall();
-        for (uint32_t t = 0; t < n; ++t) {
-            if (fibers[t]->finished())
-                continue;
-            fibers[t]->resume();
-            if (fibers[t]->finished())
-                state.onThreadExit(ctxs[t]);
-        }
-        if (state.liveThreads() > 0 && state.progress() == before) {
-            if (gate != nullptr && state.gateStalledThreads() > 0) {
+        uint32_t t = state.popReady(last);
+        if (t == BlockState::kNoThread) {
+            if (gate != nullptr && state.gateParkedThreads() > 0) {
                 gate->awaitLeader(rank, [this] {
                     return nvm_ != nullptr && nvm_->crashPending();
                 });
+                state.wakeGateParked();
+                // The retired poll loop restarted its pass at tid 0
+                // after a gate wake; keep that scan origin so resume
+                // order — and therefore every result — is unchanged.
+                last = BlockState::kNoThread;
                 continue;
             }
             GPULP_PANIC("thread block (%u,%u,%u) deadlocked: %u threads "
@@ -131,7 +132,13 @@ Device::runBlockLocal(const LaunchConfig &cfg, uint64_t rank,
                         block_idx.x, block_idx.y, block_idx.z,
                         state.liveThreads());
         }
+        ++switches;
+        fibers[t]->resume();
+        if (fibers[t]->finished())
+            state.onThreadExit(ctxs[t]);
+        last = t;
     }
+    obs::add(obs::Ctr::SimFiberSwitches, switches);
 
     out.crashed = block_crashed;
     Cycles end = 0;
@@ -184,6 +191,12 @@ Device::launch(const LaunchConfig &cfg, const KernelFn &kernel)
 
     RankGate gate(num_blocks, workers);
     RankGate *gate_ptr = params_.strict_atomic_order ? &gate : nullptr;
+
+    // Gate waits are purely event-driven now, so the NVM crash latch
+    // must wake gate-parked workers itself; route it at the gate for
+    // the duration of this launch (the gate is stack-local).
+    if (nvm_)
+        nvm_->setAbortNotifier([&gate] { gate.notifyAbort(); });
 
     std::vector<Cycles> sm_free(params_.timing.num_sms, 0);
     LaunchResult result;
@@ -238,6 +251,9 @@ Device::launch(const LaunchConfig &cfg, const KernelFn &kernel)
         }
         pool_->wait();
     }
+
+    if (nvm_)
+        nvm_->setAbortNotifier(nullptr);
 
     result.crashed = result.blocks_completed < num_blocks;
     result.critical_path =

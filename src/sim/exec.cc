@@ -9,6 +9,40 @@
 namespace gpulp {
 
 // ---------------------------------------------------------------------
+// ReadySet
+// ---------------------------------------------------------------------
+
+uint32_t
+ReadySet::popNextSlow(uint32_t from)
+{
+    if (count_ == 0)
+        return kNone;
+    // The caller already cleared the word holding `from` at/above the
+    // bit. Scan the later words, wrap to the earlier ones, and finish
+    // with the below-the-bit remainder of the starting word.
+    size_t start_word = from >> 6;
+    size_t words = bits_.size();
+    size_t w = start_word + 1;
+    for (; w < words; ++w)
+        if (bits_[w] != 0)
+            break;
+    if (w == words) {
+        for (w = 0; w < start_word; ++w)
+            if (bits_[w] != 0)
+                break;
+    }
+    uint64_t word = bits_[w];
+    if (w == start_word)
+        word &= (uint64_t{1} << (from & 63)) - 1;
+    if (word == 0)
+        GPULP_PANIC("ReadySet count %u but no bit set", count_);
+    bits_[w] &= ~(word & -word);
+    --count_;
+    return static_cast<uint32_t>(
+        w * 64 + static_cast<size_t>(std::countr_zero(word)));
+}
+
+// ---------------------------------------------------------------------
 // BlockState
 // ---------------------------------------------------------------------
 
@@ -21,7 +55,9 @@ BlockState::BlockState(GlobalMemory &mem, MemTiming &timing, NvmCache *nvm,
       ordered_(ordered != nullptr && !ordered->empty() ? ordered : nullptr),
       num_threads_(cfg.threadsPerBlock()),
       num_warps_((num_threads_ + kWarpSize - 1) / kWarpSize),
-      live_(num_threads_), warps_(num_warps_), shared_(shared_bytes, 0)
+      live_(num_threads_), warps_(num_warps_), shared_(shared_bytes, 0),
+      ready_(num_threads_), bar_waiters_(num_threads_),
+      gate_waiters_(num_threads_)
 {
     for (uint32_t w = 0; w < num_warps_; ++w) {
         uint32_t lanes =
@@ -29,6 +65,45 @@ BlockState::BlockState(GlobalMemory &mem, MemTiming &timing, NvmCache *nvm,
         warps_[w].lanes = lanes;
         warps_[w].live = lanes;
     }
+    // Every thread starts ready.
+    for (uint32_t t = 0; t < num_threads_; ++t)
+        ready_.add(t);
+}
+
+void
+BlockState::parkOn(WaitSet &waiters, uint32_t tid)
+{
+    waiters.park(tid);
+    Fiber::yield();
+}
+
+void
+BlockState::parkOnWarp(WarpState &w, uint32_t tid)
+{
+    w.wait_mask |= uint64_t{1} << (tid & 63);
+    Fiber::yield();
+}
+
+void
+BlockState::wake(WaitSet &waiters)
+{
+    uint32_t woken = ready_.absorb(waiters);
+    if (woken > 0)
+        obs::add(obs::Ctr::SimFiberWakeups, woken);
+}
+
+void
+BlockState::wakeWarp(WarpState &w)
+{
+    if (w.wait_mask == 0)
+        return;
+    static_assert(64 % kWarpSize == 0,
+                  "a warp's tids must fit in one ready-set word");
+    size_t warp_idx = static_cast<size_t>(&w - warps_.data());
+    uint32_t woken =
+        ready_.absorbWord((warp_idx * kWarpSize) >> 6, w.wait_mask);
+    w.wait_mask = 0;
+    obs::add(obs::Ctr::SimFiberWakeups, woken);
 }
 
 void
@@ -38,7 +113,6 @@ BlockState::onThreadExit(ThreadCtx &thread)
     thread.exited_ = true;
     GPULP_ASSERT(live_ > 0, "more exits than live threads");
     --live_;
-    ++progress_;
 
     WarpState &warp = warps_[thread.warpId()];
     GPULP_ASSERT(warp.live > 0, "more lane exits than live lanes");
@@ -57,17 +131,20 @@ BlockState::sharedSlot(uint32_t slot_id, size_t bytes)
     if (it != shared_slots_.end())
         return it->second;
     size_t aligned = (shared_next_ + 15) & ~size_t{15};
+    // Report the post-alignment watermark: when 16-byte padding is
+    // what pushes the slot over, the pre-padding figure would claim
+    // spare bytes that do not exist.
     GPULP_ASSERT(aligned + bytes <= shared_.size(),
                  "shared memory exhausted: slot %u needs %zu bytes, "
                  "%zu of %zu used",
-                 slot_id, bytes, shared_next_, shared_.size());
+                 slot_id, bytes, aligned, shared_.size());
     shared_next_ = aligned + bytes;
     shared_slots_.emplace(slot_id, aligned);
     return aligned;
 }
 
 void
-BlockState::gateOrdering()
+BlockState::gateOrdering(uint32_t tid)
 {
     if (gate_leader_ || gate_ == nullptr)
         return;
@@ -75,11 +152,10 @@ BlockState::gateOrdering()
         obs::add(obs::Ctr::SimGateWaits); // one per wait episode
     while (!gate_->isLeader(rank_)) {
         checkCrash();
-        // Not a progress event: the runner distinguishes "stalled on
-        // the rank gate" (park until the frontier advances) from a
-        // genuine intra-block deadlock via this counter.
-        ++gate_stall_;
-        Fiber::yield();
+        // Park on the gate wait list: the runner wakes the whole list
+        // when the frontier reaches this rank (or a crash latches, in
+        // which case checkCrash() unwinds the fiber on re-entry).
+        parkOn(gate_waiters_, tid);
     }
     gate_leader_ = true;
 }
@@ -94,7 +170,7 @@ BlockState::maybeReleaseBarrier()
     bar_arrived_ = 0;
     bar_max_arrival_ = 0;
     ++bar_generation_;
-    ++progress_;
+    wake(bar_waiters_);
 }
 
 void
@@ -115,7 +191,7 @@ BlockState::maybeReleaseWarp(WarpState &w)
     w.max_arrival = 0;
     w.deposited = 0;
     ++w.generation;
-    ++progress_;
+    wakeWarp(w);
 }
 
 // ---------------------------------------------------------------------
@@ -139,7 +215,7 @@ uint64_t
 ThreadCtx::atomicCAS64(Addr addr, uint64_t compare, uint64_t value)
 {
     block_.checkCrash();
-    block_.gateOrdering();
+    block_.gateOrdering(flat_tid_);
     uint64_t old;
     {
         std::lock_guard<std::mutex> lk(block_.mem_.rmwMutex(addr));
@@ -161,7 +237,7 @@ uint64_t
 ThreadCtx::atomicExch64(Addr addr, uint64_t value)
 {
     block_.checkCrash();
-    block_.gateOrdering();
+    block_.gateOrdering(flat_tid_);
     uint64_t old;
     {
         std::lock_guard<std::mutex> lk(block_.mem_.rmwMutex(addr));
@@ -182,7 +258,7 @@ float
 ThreadCtx::atomicAddF(Addr addr, float delta)
 {
     block_.checkCrash();
-    block_.gateOrdering();
+    block_.gateOrdering(flat_tid_);
     float old;
     {
         std::lock_guard<std::mutex> lk(block_.mem_.rmwMutex(addr));
@@ -206,10 +282,18 @@ ThreadCtx::clwb(Addr addr)
     block_.checkCrash();
     const TimingParams &p = block_.timing_.params();
     cycles_ += p.clwb_issue_cycles;
-    // The write-back itself consumes NVM write bandwidth.
-    block_.timing_.onGlobalStore(0);
-    if (block_.nvm_)
-        block_.nvm_->flushRange(addr, 1);
+    if (block_.nvm_) {
+        // Only lines that were actually dirty move data: charge their
+        // write-back against the bandwidth roofline. A clean-line clwb
+        // costs its issue cycles and nothing else, and no store
+        // instruction retires either way.
+        uint64_t flushed = block_.nvm_->flushRange(addr, 1);
+        if (flushed > 0)
+            block_.timing_.onWriteBack(flushed *
+                                       block_.nvm_->params().line_bytes);
+    }
+    // The persist barrier waits on every *issued* clwb, dirty or not:
+    // the instruction still has to drain the flush queue.
     ++outstanding_flushes_;
 }
 
@@ -232,7 +316,7 @@ void
 ThreadCtx::lockAcquire(Addr addr)
 {
     block_.checkCrash();
-    block_.gateOrdering();
+    block_.gateOrdering(flat_tid_);
     // Functionally the lock is always free by the time this block may
     // touch it (rank ordering); the *queueing delay* of contenders is
     // modelled by MemTiming's serialization window, which
@@ -259,11 +343,12 @@ ThreadCtx::syncthreads()
     uint64_t gen = b.bar_generation_;
     b.bar_max_arrival_ = std::max(b.bar_max_arrival_, cycles_);
     ++b.bar_arrived_;
-    ++b.progress_;
     b.maybeReleaseBarrier();
     while (b.bar_generation_ == gen) {
+        b.parkOn(b.bar_waiters_, flat_tid_);
+        // Woken either by the release or by a crash drain; re-check so
+        // a latched crash unwinds this fiber instead of re-parking.
         b.checkCrash();
-        Fiber::yield();
     }
     cycles_ = b.bar_release_cycle_;
 }
@@ -291,11 +376,10 @@ ThreadCtx::shflDownRaw(uint64_t value, uint32_t delta)
     w.deposited |= 1u << lane;
     w.max_arrival = std::max(w.max_arrival, cycles_);
     ++w.arrived;
-    ++b.progress_;
     b.maybeReleaseWarp(w);
     while (w.generation == gen) {
+        b.parkOnWarp(w, flat_tid_);
         b.checkCrash();
-        Fiber::yield();
     }
     cycles_ = w.release_cycle;
     return w.result[lane];

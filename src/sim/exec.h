@@ -4,12 +4,19 @@
  * (barrier, shared memory) and the ThreadCtx device API that kernels
  * program against.
  *
- * Execution model: every thread of a block runs on its own fiber; the
- * block runner resumes fibers round-robin. Fibers suspend only inside
- * collectives (__syncthreads, warp shuffles), which is where control
- * interleaves — the same points where SIMT hardware requires
- * convergence. All other device operations are non-blocking and charge
- * the thread's cycle counter.
+ * Execution model: every thread of a block runs on its own fiber,
+ * scheduled event-driven. Fibers suspend only inside collectives
+ * (__syncthreads, warp shuffles) and on the rank gate — the same
+ * points where SIMT hardware requires convergence — by parking on a
+ * wait list keyed to the event that will satisfy them (barrier
+ * generation, per-warp collective generation, rank-gate frontier).
+ * Releasing the event moves its waiters back to the ready set; a
+ * parked fiber is never resumed just to re-poll. The runner resumes
+ * ready fibers in cyclic flat-tid order, which reproduces the retired
+ * poll-everything loop's interleaving exactly (minus the no-op
+ * resumes), so results stay bit-identical at any worker count. All
+ * other device operations are non-blocking and charge the thread's
+ * cycle counter.
  *
  * Timing: each thread carries an absolute cycle counter (its block's
  * start cycle plus its own progress). Collectives align counters to
@@ -59,6 +66,137 @@ struct WarpState {
     uint32_t deposited = 0;      //!< bitmask of lanes that deposited
     std::array<uint64_t, kWarpSize> buf{};    //!< deposited lane values
     std::array<uint64_t, kWarpSize> result{}; //!< per-lane results
+
+    /**
+     * Flat tids parked on this round, as bits positioned within the
+     * ready-set word the warp's tids live in. A warp spans 32
+     * consecutive tids, so (64 % kWarpSize == 0) guarantees they all
+     * fall inside one 64-bit word — waking the warp is a single OR.
+     */
+    uint64_t wait_mask = 0;
+};
+
+/**
+ * Flat tids parked on one event (block barrier, rank gate), stored as
+ * a bitmap so waking the whole list is a word-wise OR into the ready
+ * set instead of a per-thread walk.
+ */
+struct WaitSet {
+    explicit WaitSet(uint32_t n) : bits((n + 63) / 64, 0) {}
+
+    /** Mark @p tid parked. */
+    void
+    park(uint32_t tid)
+    {
+        bits[tid >> 6] |= uint64_t{1} << (tid & 63);
+        ++count;
+    }
+
+    bool empty() const { return count == 0; }
+
+    std::vector<uint64_t> bits;
+    uint32_t count = 0;
+};
+
+/**
+ * The scheduler's ready set: a bitmap over flat tids supporting the
+ * cyclic lowest-next pick the block runner resumes fibers in. The
+ * bitmap (rather than a FIFO) makes wake order irrelevant — resume
+ * order is always flat-tid-sorted from the last resumed thread,
+ * matching the retired round-robin pass order bit for bit.
+ */
+class ReadySet
+{
+  public:
+    /** Sentinel returned by nextFrom() when the set is empty. */
+    static constexpr uint32_t kNone = UINT32_MAX;
+
+    explicit ReadySet(uint32_t n)
+        : bits_((n + 63) / 64, 0), n_(n)
+    {
+    }
+
+    /** Number of ready threads. */
+    uint32_t size() const { return count_; }
+
+    bool empty() const { return count_ == 0; }
+
+    /** Mark @p tid ready (idempotent). */
+    void
+    add(uint32_t tid)
+    {
+        uint64_t &word = bits_[tid >> 6];
+        uint64_t mask = uint64_t{1} << (tid & 63);
+        if (!(word & mask)) {
+            word |= mask;
+            ++count_;
+        }
+    }
+
+    /**
+     * OR an entire wait set in (its threads become ready) and clear
+     * it. Waiters are parked, hence disjoint from the ready bits.
+     * @return The number of threads woken.
+     */
+    uint32_t
+    absorb(WaitSet &ws)
+    {
+        uint32_t woken = ws.count;
+        if (woken == 0)
+            return 0;
+        for (size_t i = 0; i < bits_.size(); ++i) {
+            bits_[i] |= ws.bits[i];
+            ws.bits[i] = 0;
+        }
+        count_ += woken;
+        ws.count = 0;
+        return woken;
+    }
+
+    /**
+     * OR @p mask into word @p word_idx (a warp's wait mask, already in
+     * word coordinates). @return The number of threads woken.
+     */
+    uint32_t
+    absorbWord(size_t word_idx, uint64_t mask)
+    {
+        uint32_t woken =
+            static_cast<uint32_t>(std::popcount(mask));
+        bits_[word_idx] |= mask;
+        count_ += woken;
+        return woken;
+    }
+
+    /**
+     * Remove and return the smallest ready tid >= @p from, wrapping
+     * past the end; kNone when the set is empty. Pass 0 to start a
+     * fresh scan. The fast path — a ready tid in the same word as
+     * @p from — is inline; it covers nearly every pick of a cyclic
+     * scan over a dense set.
+     */
+    uint32_t
+    popNextFrom(uint32_t from)
+    {
+        if (from >= n_)
+            from = 0;
+        uint64_t word =
+            bits_[from >> 6] & (~uint64_t{0} << (from & 63));
+        if (word != 0) {
+            bits_[from >> 6] &= ~(word & -word);
+            --count_;
+            return (from & ~uint32_t{63}) +
+                   static_cast<uint32_t>(std::countr_zero(word));
+        }
+        return popNextSlow(from);
+    }
+
+  private:
+    /** Wrapping word scan for the out-of-word case. */
+    uint32_t popNextSlow(uint32_t from);
+
+    std::vector<uint64_t> bits_;
+    uint32_t n_;
+    uint32_t count_ = 0;
 };
 
 /**
@@ -99,11 +237,37 @@ class BlockState
     /** Threads that have not yet returned from the kernel. */
     uint32_t liveThreads() const { return live_; }
 
-    /** Monotonic event counter used for deadlock detection. */
-    uint64_t progress() const { return progress_; }
-
     /** Called by the runner when a thread's fiber finishes. */
     void onThreadExit(ThreadCtx &thread);
+
+    // Event-driven scheduling (the block runner's interface) ----------------
+
+    /**
+     * Claim the next thread to resume: the smallest ready tid strictly
+     * after @p last in cyclic flat-tid order (pass kNoThread to start
+     * from tid 0), removed from the ready set. Returns kNoThread when
+     * no thread is ready — then either gateParkedThreads() > 0 (the
+     * block waits on lower ranks) or the block is deadlocked.
+     */
+    uint32_t
+    popReady(uint32_t last)
+    {
+        return ready_.popNextFrom(last == kNoThread ? 0 : last + 1);
+    }
+
+    /** Sentinel tid for popReady(). */
+    static constexpr uint32_t kNoThread = ReadySet::kNone;
+
+    /** Threads parked on the rank gate (waiting for lower ranks). */
+    uint32_t gateParkedThreads() const { return gate_waiters_.count; }
+
+    /**
+     * Move every gate-parked thread back to the ready set. The runner
+     * calls this after RankGate::awaitLeader returns — on leadership
+     * the woken fibers proceed; on crash-abort they observe the latch
+     * and unwind via SimCrash.
+     */
+    void wakeGateParked() { wake(gate_waiters_); }
 
     /**
      * Resolve or allocate the shared-memory slot @p slot_id of
@@ -121,23 +285,17 @@ class BlockState
     /** This block's flat rank in the grid. */
     uint64_t rank() const { return rank_; }
 
-    /** Threads that yielded on the rank gate in the current pass. */
-    uint32_t gateStalledThreads() const { return gate_stall_; }
-
-    /** Clear the per-pass gate-stall counter (runner, each pass). */
-    void resetGateStall() { gate_stall_ = 0; }
-
     /** The launch's rank gate, or nullptr when ungated. */
     RankGate *gate() { return gate_; }
 
     /**
      * Block until this block is the rank leader (every lower rank has
      * completed). First ordering-sensitive access of the block pays
-     * this once; leadership is kept until the block completes. Yields
-     * the calling fiber while waiting; throws SimCrash if a crash
-     * latches meanwhile.
+     * this once; leadership is kept until the block completes. Parks
+     * the calling fiber (@p tid) on the gate wait list while waiting;
+     * throws SimCrash if a crash latches meanwhile.
      */
-    void gateOrdering();
+    void gateOrdering(uint32_t tid);
 
     /** True when @p addr must wait for rank leadership first. */
     bool
@@ -160,7 +318,6 @@ class BlockState
     }
 
     friend class ThreadCtx;
-    friend class BlockRunner;
 
     /** Throw SimCrash if the NVM model has a pending injected crash. */
     void
@@ -170,11 +327,29 @@ class BlockState
             throw SimCrash{};
     }
 
-    /** Release the block barrier if all live threads arrived. */
+    /**
+     * Release the block barrier if all live threads arrived, moving
+     * its waiters back to the ready set.
+     */
     void maybeReleaseBarrier();
 
-    /** Release warp @p w's collective if all its live lanes arrived. */
+    /**
+     * Release warp @p w's collective if all its live lanes arrived,
+     * moving its waiters back to the ready set.
+     */
     void maybeReleaseWarp(WarpState &w);
+
+    /** Park the running fiber @p tid on @p waiters and yield. */
+    void parkOn(WaitSet &waiters, uint32_t tid);
+
+    /** Park the running fiber @p tid on warp @p w's round and yield. */
+    void parkOnWarp(WarpState &w, uint32_t tid);
+
+    /** Move every tid on @p waiters back to the ready set. */
+    void wake(WaitSet &waiters);
+
+    /** Move warp @p w's parked lanes back to the ready set. */
+    void wakeWarp(WarpState &w);
 
     GlobalMemory &mem_;
     MemTiming &timing_;
@@ -187,7 +362,6 @@ class BlockState
     uint64_t rank_;
     const OrderedRegions *ordered_;
     bool gate_leader_ = false;
-    uint32_t gate_stall_ = 0;
 
     uint32_t num_threads_;
     uint32_t num_warps_;
@@ -205,7 +379,12 @@ class BlockState
     size_t shared_next_ = 0;
     std::unordered_map<uint32_t, size_t> shared_slots_;
 
-    uint64_t progress_ = 0;
+    // Scheduler state: threads are in exactly one place — running,
+    // ready, on a wait list (bar_waiters_ / warp.waiters /
+    // gate_waiters_), or exited.
+    ReadySet ready_;
+    WaitSet bar_waiters_;
+    WaitSet gate_waiters_;
 };
 
 /**
@@ -329,7 +508,7 @@ class ThreadCtx
     {
         block_.checkCrash();
         if (block_.mustOrder(addr, sizeof(T)))
-            block_.gateOrdering();
+            block_.gateOrdering(flat_tid_);
         cycles_ += block_.timing_.onGlobalLoad(sizeof(T));
         return block_.mem_.read<T>(addr);
     }
@@ -341,7 +520,7 @@ class ThreadCtx
     {
         block_.checkCrash();
         if (block_.mustOrder(addr, sizeof(T)))
-            block_.gateOrdering();
+            block_.gateOrdering(flat_tid_);
         cycles_ += block_.timing_.onGlobalStore(sizeof(T));
         block_.mem_.write<T>(addr, value);
     }
@@ -454,7 +633,6 @@ class ThreadCtx
 
   private:
     friend class BlockState;
-    friend class BlockRunner;
     template <typename U>
     friend class SharedRef;
 
@@ -474,7 +652,7 @@ class ThreadCtx
     rmw32(Addr addr, Op &&op)
     {
         block_.checkCrash();
-        block_.gateOrdering();
+        block_.gateOrdering(flat_tid_);
         uint32_t old, next;
         {
             // Host-atomic RMW: relevant only in relaxed-order mode,

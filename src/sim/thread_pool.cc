@@ -1,7 +1,5 @@
 #include "thread_pool.h"
 
-#include <chrono>
-
 #include "common/logging.h"
 
 namespace gpulp {
@@ -96,15 +94,21 @@ bool
 RankGate::awaitLeader(uint64_t rank, const std::function<bool()> &aborted)
 {
     std::unique_lock<std::mutex> lk(mu_);
-    for (;;) {
-        if (frontier_ == rank)
-            return true;
-        if (aborted())
-            return false;
-        // Bounded wait so an abort latch flipped outside the gate's
-        // lock (crash injection) is observed promptly.
-        cv_.wait_for(lk, std::chrono::milliseconds(1));
-    }
+    // Event-driven park: complete() and notifyAbort() are the only
+    // wake sources, so the predicate must cover both leadership and
+    // the abort latch — no timed re-poll.
+    cv_.wait(lk, [&] { return frontier_ == rank || aborted(); });
+    return frontier_ == rank;
+}
+
+void
+RankGate::notifyAbort()
+{
+    // Take the lock empty-handed before notifying: a waiter that has
+    // evaluated its predicate but not yet parked would otherwise miss
+    // the wakeup forever (there is no timed re-poll to save it).
+    { std::lock_guard<std::mutex> lk(mu_); }
+    cv_.notify_all();
 }
 
 void

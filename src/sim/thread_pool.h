@@ -117,8 +117,20 @@ class RankGate
      * Park the calling (worker) thread until @p rank is leader or
      * @p aborted() returns true. @return true when leadership was
      * reached, false on abort.
+     *
+     * Purely event-driven: the wait is woken by complete() advancing
+     * the frontier or by notifyAbort(). An abort source outside the
+     * gate (the NVM crash latch) must call notifyAbort() or the park
+     * holds until the next frontier advance.
      */
     bool awaitLeader(uint64_t rank, const std::function<bool()> &aborted);
+
+    /**
+     * Wake every parked thread so it can re-evaluate its abort
+     * predicate. Called by the NVM crash latch (via the abort notifier
+     * Device::launch registers) the moment a crash latches.
+     */
+    void notifyAbort();
 
     /** Mark @p rank completed; advance the frontier; wake waiters. */
     void complete(uint64_t rank);

@@ -29,57 +29,6 @@ mixSeed(uint64_t seed, const std::string &workload, TableKind table,
     return h;
 }
 
-/** Concatenated current-arena bytes of a span list. */
-std::vector<uint8_t>
-readSpans(const GlobalMemory &mem, const std::vector<OutputSpan> &spans)
-{
-    std::vector<uint8_t> bytes;
-    for (const OutputSpan &s : spans) {
-        const char *p = mem.raw(s.addr);
-        bytes.insert(bytes.end(), p, p + s.bytes);
-    }
-    return bytes;
-}
-
-/** The LP configuration a cell runs under. */
-LpConfig
-cellConfig(const Workload &w, TableKind table, ChecksumKind kind)
-{
-    LpConfig cfg = table == TableKind::GlobalArray ? LpConfig::scalable()
-                                                   : LpConfig::naive(table);
-    cfg.checksum = kind;
-    if (table == TableKind::QuadProbe)
-        cfg.load_factor = w.quadLoadFactor();
-    else if (table == TableKind::Cuckoo)
-        cfg.load_factor = w.cuckooLoadFactor();
-    return cfg;
-}
-
-/**
- * Crash points for one cell: grid fractions of the store count plus
- * seeded random draws, deduplicated and topped back up to the
- * requested total. Points stay in [1, stores-2] so at least one store
- * is attempted after the latch and the launch reliably aborts.
- */
-std::set<uint64_t>
-pickCrashPoints(const CampaignOptions &opts, uint64_t stores, Prng &rng)
-{
-    GPULP_ASSERT(stores >= 4, "workload too small to crash (%llu stores)",
-                 static_cast<unsigned long long>(stores));
-    const uint64_t hi = stores - 2;
-    std::set<uint64_t> points;
-    for (uint32_t i = 1; i <= opts.grid_points; ++i) {
-        uint64_t p = hi * i / (opts.grid_points + 1);
-        points.insert(std::clamp<uint64_t>(p, 1, hi));
-    }
-    for (uint32_t i = 0; i < opts.random_points; ++i)
-        points.insert(1 + rng.nextBelow(hi));
-    const uint64_t want = opts.grid_points + opts.random_points;
-    while (points.size() < want && points.size() < hi)
-        points.insert(1 + rng.nextBelow(hi));
-    return points;
-}
-
 TrialResult
 runTrial(Device &dev, NvmCache &nvm, Workload &w, const LpContext &ctx,
          const LaunchConfig &launch, const std::vector<char> &pristine,
@@ -107,32 +56,15 @@ runTrial(Device &dev, NvmCache &nvm, Workload &w, const LpContext &ctx,
     dev.launch(launch, [&](ThreadCtx &t) { w.kernel(t, &ctx); });
     trial.torn_lines = nvm.crash();
 
-    // Ground truth: byte-diff each block's persisted output against
-    // the golden run. Never-executed blocks still hold pristine bytes
-    // and count as corrupt — their work is missing from NVM.
-    std::vector<bool> corrupt(num_blocks);
-    for (uint64_t b = 0; b < num_blocks; ++b) {
-        corrupt[b] =
-            readSpans(dev.mem(), block_spans[b]) != golden_blocks[b];
-        trial.corrupt_blocks += corrupt[b];
-    }
-
-    // Validation verdict on the crashed image, before recovery runs.
-    RecoverySet flagged(dev, num_blocks);
-    LaunchResult v = dev.launch(launch, [&](ThreadCtx &t) {
-        w.validation(t, ctx, flagged);
-    });
-    GPULP_ASSERT(!v.crashed, "classification validation crashed");
-    for (uint64_t b = 0; b < num_blocks; ++b) {
-        bool f = flagged.isFailedHost(b);
-        trial.flagged_blocks += f;
-        if (corrupt[b] && f)
-            ++trial.true_fails;
-        else if (!corrupt[b] && f)
-            ++trial.false_fails;
-        else if (corrupt[b] && !f)
-            ++trial.false_passes;
-    }
+    // Ground truth + validation verdict on the crashed image, before
+    // recovery runs.
+    BlockClassification cls = classifyAgainstGolden(
+        dev, launch, w, ctx, block_spans, golden_blocks);
+    trial.corrupt_blocks = cls.corrupt_blocks;
+    trial.flagged_blocks = cls.flagged_blocks;
+    trial.true_fails = cls.true_fails;
+    trial.false_fails = cls.false_fails;
+    trial.false_passes = cls.false_passes;
 
     RecoveryReport rep = lpValidateAndRecover(
         dev, launch, ctx,
@@ -155,7 +87,7 @@ runTrial(Device &dev, NvmCache &nvm, Workload &w, const LpContext &ctx,
     nvm.crash();
     trial.output_matches_golden = true;
     for (uint64_t b = 0; b < num_blocks; ++b) {
-        if (readSpans(dev.mem(), block_spans[b]) != golden_blocks[b]) {
+        if (readOutputSpans(dev.mem(), block_spans[b]) != golden_blocks[b]) {
             trial.output_matches_golden = false;
             break;
         }
@@ -174,6 +106,11 @@ runCell(const CampaignOptions &opts, const std::string &name,
     NvmParams nparams;
     nparams.cache_bytes = opts.nvm_cache_bytes;
     NvmCache nvm(dev.mem(), nparams);
+    // GPULP_NVM_DEVICE=file:<path> runs the cell against the
+    // file-backed device; each cell starts the log fresh.
+    std::unique_ptr<PersistLog> log = persistLogFromEnv(/*truncate=*/true);
+    if (log)
+        nvm.attachPersistLog(log.get());
     dev.attachNvm(&nvm);
     if (workers_out)
         *workers_out = dev.resolveWorkers();
@@ -188,7 +125,7 @@ runCell(const CampaignOptions &opts, const std::string &name,
 
     const LaunchConfig launch = w->launchConfig();
     const uint64_t num_blocks = launch.numBlocks();
-    LpRuntime lp(dev, cellConfig(*w, table, kind), launch);
+    LpRuntime lp(dev, campaignCellConfig(*w, table, kind), launch);
     LpContext ctx = lp.context();
 
     std::vector<std::vector<OutputSpan>> block_spans(num_blocks);
@@ -219,7 +156,7 @@ runCell(const CampaignOptions &opts, const std::string &name,
                  name.c_str(), why.c_str());
     std::vector<std::vector<uint8_t>> golden_blocks(num_blocks);
     for (uint64_t b = 0; b < num_blocks; ++b)
-        golden_blocks[b] = readSpans(dev.mem(), block_spans[b]);
+        golden_blocks[b] = readOutputSpans(dev.mem(), block_spans[b]);
 
     CellResult cell;
     cell.workload = name;
@@ -229,7 +166,9 @@ runCell(const CampaignOptions &opts, const std::string &name,
     cell.golden_stores = golden_stores;
 
     Prng rng(mixSeed(opts.seed, name, table, kind));
-    for (uint64_t point : pickCrashPoints(opts, golden_stores, rng)) {
+    for (uint64_t point : pickCrashPoints(opts.grid_points,
+                                          opts.random_points,
+                                          golden_stores, rng)) {
         cell.trials.push_back(runTrial(dev, nvm, *w, ctx, launch,
                                        pristine, block_spans,
                                        golden_blocks, point));
@@ -238,6 +177,90 @@ runCell(const CampaignOptions &opts, const std::string &name,
 }
 
 } // namespace
+
+std::vector<uint8_t>
+readOutputSpans(const GlobalMemory &mem,
+                const std::vector<OutputSpan> &spans)
+{
+    std::vector<uint8_t> bytes;
+    for (const OutputSpan &s : spans) {
+        const char *p = mem.raw(s.addr);
+        bytes.insert(bytes.end(), p, p + s.bytes);
+    }
+    return bytes;
+}
+
+LpConfig
+campaignCellConfig(const Workload &w, TableKind table, ChecksumKind kind)
+{
+    LpConfig cfg = table == TableKind::GlobalArray ? LpConfig::scalable()
+                                                   : LpConfig::naive(table);
+    cfg.checksum = kind;
+    if (table == TableKind::QuadProbe)
+        cfg.load_factor = w.quadLoadFactor();
+    else if (table == TableKind::Cuckoo)
+        cfg.load_factor = w.cuckooLoadFactor();
+    return cfg;
+}
+
+std::set<uint64_t>
+pickCrashPoints(uint32_t grid_points, uint32_t random_points,
+                uint64_t stores, Prng &rng)
+{
+    GPULP_ASSERT(stores >= 4, "workload too small to crash (%llu stores)",
+                 static_cast<unsigned long long>(stores));
+    const uint64_t hi = stores - 2;
+    std::set<uint64_t> points;
+    for (uint32_t i = 1; i <= grid_points; ++i) {
+        uint64_t p = hi * i / (grid_points + 1);
+        points.insert(std::clamp<uint64_t>(p, 1, hi));
+    }
+    for (uint32_t i = 0; i < random_points; ++i)
+        points.insert(1 + rng.nextBelow(hi));
+    const uint64_t want = grid_points + random_points;
+    while (points.size() < want && points.size() < hi)
+        points.insert(1 + rng.nextBelow(hi));
+    return points;
+}
+
+BlockClassification
+classifyAgainstGolden(
+    Device &dev, const LaunchConfig &launch, Workload &w,
+    const LpContext &ctx,
+    const std::vector<std::vector<OutputSpan>> &block_spans,
+    const std::vector<std::vector<uint8_t>> &golden_blocks)
+{
+    const uint64_t num_blocks = launch.numBlocks();
+    BlockClassification cls;
+
+    // Ground truth: byte-diff each block's persisted output against
+    // the golden run. Never-executed blocks still hold pristine bytes
+    // and count as corrupt — their work is missing from NVM.
+    std::vector<bool> corrupt(num_blocks);
+    for (uint64_t b = 0; b < num_blocks; ++b) {
+        corrupt[b] =
+            readOutputSpans(dev.mem(), block_spans[b]) != golden_blocks[b];
+        cls.corrupt_blocks += corrupt[b];
+    }
+
+    // Validation verdict on the crashed image, before recovery runs.
+    RecoverySet flagged(dev, num_blocks);
+    LaunchResult v = dev.launch(launch, [&](ThreadCtx &t) {
+        w.validation(t, ctx, flagged);
+    });
+    GPULP_ASSERT(!v.crashed, "classification validation crashed");
+    for (uint64_t b = 0; b < num_blocks; ++b) {
+        bool f = flagged.isFailedHost(b);
+        cls.flagged_blocks += f;
+        if (corrupt[b] && f)
+            ++cls.true_fails;
+        else if (!corrupt[b] && f)
+            ++cls.false_fails;
+        else if (corrupt[b] && !f)
+            ++cls.false_passes;
+    }
+    return cls;
+}
 
 uint64_t
 CellResult::falsePasses() const

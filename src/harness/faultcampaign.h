@@ -35,6 +35,7 @@
 #define GPULP_HARNESS_FAULTCAMPAIGN_H
 
 #include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,14 @@
 #include "obs/counters.h"
 
 namespace gpulp {
+
+class Device;
+class GlobalMemory;
+class Prng;
+class Workload;
+struct LpContext;
+struct LaunchConfig;
+struct OutputSpan;
 
 /** What to sweep and how hard. */
 struct CampaignOptions {
@@ -139,6 +148,50 @@ struct CampaignResult {
  * workload without outputSpans() support, out-of-range scale).
  */
 CampaignResult runFaultCampaign(const CampaignOptions &opts);
+
+// Shared crash-classification machinery ------------------------------------
+//
+// tools/crash_harness replays the same ground-truth protocol against a
+// process that was genuinely SIGKILLed, so the helpers the campaign
+// classifies with are exported here rather than buried in the .cc.
+
+/** Concatenated current-arena bytes of a span list. */
+std::vector<uint8_t> readOutputSpans(const GlobalMemory &mem,
+                                     const std::vector<OutputSpan> &spans);
+
+/** The LP configuration a (table, checksum) campaign cell runs under. */
+LpConfig campaignCellConfig(const Workload &w, TableKind table,
+                            ChecksumKind kind);
+
+/**
+ * Crash points for one cell: @p grid_points evenly-spaced fractions of
+ * @p stores plus @p random_points Prng draws, deduplicated and topped
+ * back up. Points stay in [1, stores-2] so at least one store is
+ * attempted after the latch and the run reliably crashes.
+ */
+std::set<uint64_t> pickCrashPoints(uint32_t grid_points,
+                                   uint32_t random_points, uint64_t stores,
+                                   Prng &rng);
+
+/** Per-block crash classification against a golden run. */
+struct BlockClassification {
+    uint64_t corrupt_blocks = 0; //!< ground truth: output != golden
+    uint64_t flagged_blocks = 0; //!< validation verdict: marked failed
+    uint64_t true_fails = 0;     //!< corrupt and flagged
+    uint64_t false_fails = 0;    //!< intact but flagged (benign)
+    uint64_t false_passes = 0;   //!< corrupt but NOT flagged (fatal)
+};
+
+/**
+ * Ground-truth classification of the image currently in @p dev's
+ * arena: byte-diff every block's spans against @p golden_blocks, run
+ * one validation pass, and cross the two verdicts.
+ */
+BlockClassification classifyAgainstGolden(
+    Device &dev, const LaunchConfig &launch, Workload &w,
+    const LpContext &ctx,
+    const std::vector<std::vector<OutputSpan>> &block_spans,
+    const std::vector<std::vector<uint8_t>> &golden_blocks);
 
 /** Emit the campaign report as JSON to @p out. */
 void writeCampaignJson(const CampaignResult &result, std::FILE *out);

@@ -27,6 +27,8 @@ GlobalMemory::reset()
 {
     std::memset(data_.data(), 0, next_);
     next_ = 64;
+    if (observer_)
+        observer_->onReset();
 }
 
 } // namespace gpulp

@@ -47,6 +47,15 @@ class MemObserver
 
     /** Called before the arena bytes [addr, addr+bytes) are read. */
     virtual void onLoad(Addr addr, size_t bytes) = 0;
+
+    /**
+     * Called when the arena is reset(): every allocation is released
+     * and the used region zeroed. Persistency models drop their state
+     * for the dead region (the NVM cache invalidates its lines and
+     * tombstones the region's persist-log entries so a reused log file
+     * does not replay stale allocations). Default: ignore.
+     */
+    virtual void onReset() {}
 };
 
 /**

@@ -39,6 +39,12 @@ NvmCache::onStore(Addr addr, size_t bytes)
     if (crash_armed_ && !crashPending()) {
         if (crash_countdown_ == 0) {
             crash_pending_.store(true, std::memory_order_release);
+            // The real-crash hook (tools/crash_harness points it at
+            // raise(SIGKILL)) fires first and may never return: the
+            // process dies here, mid-store, with only flushed log
+            // batches durable.
+            if (crash_latch_action_)
+                crash_latch_action_();
             // Wake anything parked on the rank gate: with event-driven
             // waits there is no timed re-poll to notice the latch.
             if (abort_notifier_)
@@ -139,6 +145,63 @@ NvmCache::writebackLine(uint64_t tag)
         return; // line beyond the allocated region; nothing meaningful
     size_t len = std::min(params_.line_bytes, used - start);
     std::memcpy(shadow_.data() + start, mem_.raw(start), len);
+    if (log_)
+        log_->append(start, mem_.raw(start), static_cast<uint32_t>(len));
+}
+
+void
+NvmCache::logDivergedLines()
+{
+    size_t used = mem_.used();
+    for (Addr start = 0; start < used; start += params_.line_bytes) {
+        size_t len = std::min(params_.line_bytes, used - start);
+        if (std::memcmp(shadow_.data() + start, mem_.raw(start), len) != 0)
+            log_->append(start, mem_.raw(start),
+                         static_cast<uint32_t>(len));
+    }
+}
+
+void
+NvmCache::attachPersistLog(PersistLog *log)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    log_ = log;
+}
+
+void
+NvmCache::restoreFromLog()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    GPULP_ASSERT(log_ != nullptr, "restoreFromLog without an attached log");
+    log_->forEachLive([&](uint64_t key, const uint8_t *data,
+                          uint32_t size) {
+        GPULP_ASSERT(key + size <= shadow_.size(),
+                     "log entry [%llu, +%u) beyond the arena (%zu bytes): "
+                     "the recovering process laid memory out differently",
+                     static_cast<unsigned long long>(key), size,
+                     shadow_.size());
+        std::memcpy(shadow_.data() + key, data, size);
+        std::memcpy(mem_.raw(key), data, size);
+    });
+    for (auto &line : lines_)
+        line = Line{};
+}
+
+void
+NvmCache::onReset()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    // The arena was released and zeroed: no cached line or shadow byte
+    // is meaningful any more, and a reused log file must not replay the
+    // dead allocations into the next experiment.
+    for (auto &line : lines_)
+        line = Line{};
+    std::memset(shadow_.data(), 0, shadow_.size());
+    if (log_) {
+        for (const auto &[key, slot] : log_->indexSnapshot())
+            log_->appendTombstone(key);
+        log_->flush();
+    }
 }
 
 void
@@ -150,7 +213,14 @@ NvmCache::persistAll()
         return; // power already failed; nothing can reach NVM now
     obs::add(obs::Ctr::NvmPersistAlls);
     // Publish the whole arena (covers host raw() writes that never went
-    // through the observer) and clean every line.
+    // through the observer) and clean every line. The file device only
+    // receives the lines that actually diverged — appending the whole
+    // arena would fabricate write amplification the checkpoint does
+    // not cause.
+    if (log_) {
+        logDivergedLines();
+        log_->flush();
+    }
     std::memcpy(shadow_.data(), mem_.raw(0), mem_.used());
     uint64_t flushed = 0;
     for (auto &line : lines_) {
@@ -178,6 +248,12 @@ NvmCache::crash()
     obs::add(obs::Ctr::NvmCrashes);
     obs::add(obs::Ctr::NvmTornLines, torn);
     obs::traceInstant("crash", "nvm", torn, "torn_lines");
+    // A simulated in-process crash treats everything already written
+    // back as durable, so drain the log's batch buffer: shadow and
+    // file stay in agreement. (A real SIGKILL — tools/crash_harness —
+    // never reaches this path and *does* lose the unflushed batch.)
+    if (log_)
+        log_->flush();
     // Volatile state is lost: rewind the arena to the NVM image.
     std::memcpy(mem_.raw(0), shadow_.data(), mem_.used());
     for (auto &line : lines_)

@@ -14,7 +14,12 @@
  *  - crash() throws away all dirty lines and restores the shadow into
  *    the arena — the exact state a crash-recovery kernel would see;
  *  - persistAll() is the paper's periodic whole-cache flush /
- *    checkpoint: it publishes the entire arena to the shadow.
+ *    checkpoint: it publishes the entire arena to the shadow;
+ *  - optionally (attachPersistLog / GPULP_NVM_DEVICE=file:<path>) a
+ *    file-backed persist log mirrors every write-back as an appended
+ *    CRC32-framed entry, making the persisted image survive a real
+ *    process death — restoreFromLog() rebuilds it in a fresh process
+ *    (see persist_log.h and tools/crash_harness).
  *
  * The model also counts NVM line reads/writes, which is the metric of
  * the paper's write-amplification study (Sec. VII-3): LP's only extra
@@ -47,6 +52,7 @@
 
 #include "common/zeroed_buffer.h"
 #include "mem/memory.h"
+#include "nvm/persist_log.h"
 
 namespace gpulp {
 
@@ -112,6 +118,34 @@ class NvmCache : public MemObserver
 
     void onStore(Addr addr, size_t bytes) override;
     void onLoad(Addr addr, size_t bytes) override;
+    void onReset() override;
+
+    // File-backed device ----------------------------------------------------
+
+    /**
+     * Attach (or detach, with nullptr) a file-backed persist log: the
+     * shadow becomes a cache of the log, and every line write-back
+     * additionally appends a framed entry, so the persisted image
+     * survives the death of this process. persistAll() appends only
+     * the lines that diverged from the shadow, keeping the log's byte
+     * count an honest device-level write-amplification measurement.
+     * The caller keeps ownership and must outlive the attachment.
+     */
+    void attachPersistLog(PersistLog *log);
+
+    /** Attached log, or nullptr (the default in-memory device). */
+    PersistLog *persistLog() { return log_; }
+
+    /**
+     * Rebuild the persisted image from the attached log: every live
+     * entry is copied into both the NVM shadow and the arena, exactly
+     * what a fresh process does after a real crash (the log was opened
+     * on the dead process's file and already truncated any torn
+     * tail). The cache is invalidated; stats are untouched. Entries
+     * must fall inside the arena — a mismatch means the recovering
+     * process laid out memory differently and is a fatal error.
+     */
+    void restoreFromLog();
 
     // Persistency operations ------------------------------------------------
 
@@ -147,6 +181,21 @@ class NvmCache : public MemObserver
 
     /** Latch crashPending() after @p stores more observed stores. */
     void crashAfterStores(uint64_t stores);
+
+    /**
+     * Register an action to run the instant the crash latch trips
+     * (before the freeze takes effect and before the abort notifier).
+     * tools/crash_harness points this at raise(SIGKILL) so the armed
+     * store countdown kills the process for real instead of simulating
+     * a power failure — the action may never return. Invoked with the
+     * cache's mutex held.
+     */
+    void
+    setCrashLatchAction(std::function<void()> fn)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        crash_latch_action_ = std::move(fn);
+    }
 
     /** Disarm any pending crash trigger. */
     void disarmCrash();
@@ -223,8 +272,13 @@ class NvmCache : public MemObserver
     /** Touch the line containing @p addr; returns hit/miss. */
     bool access(Addr addr, bool is_store);
 
-    /** Write a line's current arena bytes into the shadow. */
+    /** Write a line's current arena bytes into the shadow (and append
+     *  it to the persist log when one is attached). */
     void writebackLine(uint64_t tag);
+
+    /** Append every line of [0, used) where arena != shadow to the
+     *  log; the diff that makes persistAll() honest at the device. */
+    void logDivergedLines();
 
     GlobalMemory &mem_;
     NvmParams params_;
@@ -237,10 +291,13 @@ class NvmCache : public MemObserver
     /** Guards lines_/shadow_/tick_/stats_ and the crash countdown. */
     mutable std::mutex mu_;
 
+    PersistLog *log_ = nullptr; //!< optional file-backed device
+
     bool crash_armed_ = false;
     std::atomic<bool> crash_pending_{false};
     uint64_t crash_countdown_ = 0;
     std::function<void()> abort_notifier_; //!< fired when the latch trips
+    std::function<void()> crash_latch_action_; //!< e.g. raise(SIGKILL)
 };
 
 } // namespace gpulp

@@ -69,6 +69,15 @@ namespace gpulp::obs {
     X(NvmStoresAfterCrash, "nvm.stores_after_crash", "stores",  "nvm")        \
     X(NvmPersistAlls,      "nvm.persist_alls",       "calls",   "nvm")        \
     X(NvmCrashes,          "nvm.crashes",            "crashes", "nvm")        \
+    /* nvm: file-backed persist log (src/nvm/persist_log.cc) */               \
+    X(NvmLogAppends,       "nvm.log_appends",        "entries", "nvm")        \
+    X(NvmLogAppendedBytes, "nvm.log_appended_bytes", "bytes",   "nvm")        \
+    X(NvmLogTombstones,    "nvm.log_tombstones",     "entries", "nvm")        \
+    X(NvmLogBatchFlushes,  "nvm.log_batch_flushes",  "flushes", "nvm")        \
+    X(NvmLogCompactions,   "nvm.log_compactions",    "passes",  "nvm")        \
+    X(NvmLogCrcRejected,   "nvm.log_crc_rejected",   "entries", "nvm")        \
+    X(NvmLogTornTruncations, "nvm.log_torn_truncations", "tails", "nvm")      \
+    X(NvmLogReplayedEntries, "nvm.log_replayed_entries", "entries", "nvm")    \
     /* store: checksum stores (src/core/checksum_store.cc) */                 \
     X(StoreQuadInserts,    "store.quad.inserts",     "inserts", "store")      \
     X(StoreQuadProbes,     "store.quad.probes",      "probes",  "store")      \

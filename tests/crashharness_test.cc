@@ -1,0 +1,90 @@
+/**
+ * @file
+ * End-to-end smoke tests for the kill-9 crash harness: a victim
+ * process genuinely dies by SIGKILL mid-store and a fresh process
+ * recovers the workload — from the persist log on the file device,
+ * from re-setup state on the in-memory device.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/crashharness.h"
+
+namespace gpulp {
+namespace {
+
+CrashHarnessOptions
+smokeOptions()
+{
+    CrashHarnessOptions opts;
+    opts.workload = "tmm";
+    opts.scale = 0.004;
+    opts.grid_points = 2;
+    opts.random_points = 1;
+    opts.num_workers = 1;
+    return opts;
+}
+
+TEST(CrashHarnessTest, FileDeviceSurvivesRealSigkill)
+{
+    CrashHarnessOptions opts = smokeOptions();
+    opts.file_device = true;
+    CrashHarnessResult r = runCrashHarness(opts);
+    ASSERT_EQ(r.trials.size(), 3u);
+    uint64_t replayed = 0;
+    for (const CrashTrialResult &t : r.trials) {
+        EXPECT_TRUE(t.killed_by_sigkill)
+            << "victim at store " << t.crash_point
+            << " did not die by SIGKILL";
+        EXPECT_EQ(t.false_passes, 0u);
+        EXPECT_TRUE(t.converged);
+        EXPECT_TRUE(t.output_matches_golden);
+        EXPECT_TRUE(t.verify_ok);
+        EXPECT_GT(t.log_bytes_at_death, 0u);
+        replayed += t.entries_replayed;
+    }
+    // The log must have fed recovery something: at minimum the durable
+    // pre-kernel baseline image.
+    EXPECT_GT(replayed, 0u);
+    EXPECT_TRUE(r.passed());
+}
+
+TEST(CrashHarnessTest, MemDeviceLosesEverythingButStillRecovers)
+{
+    CrashHarnessOptions opts = smokeOptions();
+    opts.file_device = false;
+    CrashHarnessResult r = runCrashHarness(opts);
+    ASSERT_EQ(r.trials.size(), 3u);
+    for (const CrashTrialResult &t : r.trials) {
+        EXPECT_TRUE(t.killed_by_sigkill);
+        // Total loss: every block's work is gone, validation must
+        // flag all of them and recovery re-executes the whole grid.
+        EXPECT_EQ(t.corrupt_blocks, r.num_blocks);
+        EXPECT_EQ(t.false_passes, 0u);
+        EXPECT_EQ(t.entries_replayed, 0u);
+        EXPECT_TRUE(t.converged);
+        EXPECT_TRUE(t.output_matches_golden);
+        EXPECT_TRUE(t.verify_ok);
+    }
+    EXPECT_TRUE(r.passed());
+}
+
+TEST(CrashHarnessTest, DeterministicAcrossRuns)
+{
+    CrashHarnessOptions opts = smokeOptions();
+    opts.grid_points = 1;
+    opts.random_points = 1;
+    CrashHarnessResult a = runCrashHarness(opts);
+    CrashHarnessResult b = runCrashHarness(opts);
+    ASSERT_EQ(a.trials.size(), b.trials.size());
+    EXPECT_EQ(a.golden_stores, b.golden_stores);
+    for (size_t i = 0; i < a.trials.size(); ++i) {
+        EXPECT_EQ(a.trials[i].crash_point, b.trials[i].crash_point);
+        EXPECT_EQ(a.trials[i].corrupt_blocks, b.trials[i].corrupt_blocks);
+        EXPECT_EQ(a.trials[i].entries_replayed,
+                  b.trials[i].entries_replayed);
+    }
+}
+
+} // namespace
+} // namespace gpulp

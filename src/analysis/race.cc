@@ -1,0 +1,175 @@
+#include "race.h"
+
+#include "common/logging.h"
+
+namespace gpulp {
+
+namespace {
+
+/**
+ * Byte-granular location key. Tracking whole NVM lines instead would
+ * flag benign disjoint same-line writes (adjacent output elements of
+ * different threads share a 128 B line constantly); the *report* groups
+ * by line, the detection must not.
+ */
+uint64_t
+byteKey(bool shared, uint32_t slot, uint64_t addr)
+{
+    if (shared)
+        return (uint64_t{1} << 63) | (uint64_t{slot} << 40) |
+               (addr & ((uint64_t{1} << 40) - 1));
+    return addr;
+}
+
+} // namespace
+
+uint64_t
+RaceRecord::locationKey() const
+{
+    if (shared)
+        return (uint64_t{1} << 63) | (uint64_t{slot} << 40);
+    return addr / 128; // NVM line granularity for grouping
+}
+
+uint64_t
+HbTracker::eventKey(SchedEvent ev)
+{
+    return (static_cast<uint64_t>(ev.kind) << 61) ^
+           (ev.id & ((uint64_t{1} << 61) - 1));
+}
+
+void
+HbTracker::onBlockStart(uint32_t num_threads)
+{
+    vc_.assign(num_threads, VectorClock{});
+    epoch_.assign(num_threads, 1);
+    cur_decision_.assign(num_threads, 0);
+    for (uint32_t t = 0; t < num_threads; ++t)
+        vc_[t].raise(t, 1);
+}
+
+void
+HbTracker::onResume(uint32_t tid, uint32_t decision)
+{
+    GPULP_ASSERT(tid < vc_.size(), "resume of unknown tid %u", tid);
+    // A new segment: later accesses must not appear ordered with
+    // accesses of this thread's previous segment's *peers*.
+    ++epoch_[tid];
+    vc_[tid].raise(tid, epoch_[tid]);
+    cur_decision_[tid] = decision;
+}
+
+void
+HbTracker::onPark(uint32_t tid, SchedEvent ev)
+{
+    // The parker's accesses so far happen-before the event's release.
+    event_vc_[eventKey(ev)].join(vc_[tid]);
+}
+
+void
+HbTracker::onRelease(SchedEvent ev, const uint32_t *woken, uint32_t n,
+                     uint32_t releaser)
+{
+    uint64_t key = eventKey(ev);
+    VectorClock &evc = event_vc_[key];
+    // Only an *arriving* releaser's accesses are ordered before the
+    // release; an exit- or runner-triggered release contributes no
+    // clock (joining one would manufacture happens-before and hide
+    // real races).
+    if (releaser != SchedulePolicy::kNoTid)
+        evc.join(vc_[releaser]);
+    for (uint32_t i = 0; i < n; ++i)
+        vc_[woken[i]].join(evc);
+    if (releaser != SchedulePolicy::kNoTid)
+        vc_[releaser].join(evc);
+    event_vc_.erase(key);
+}
+
+void
+HbTracker::flag(const Epoch &earlier, uint32_t tid, AccessKind kind,
+                bool shared, uint32_t slot, uint64_t addr)
+{
+    ++races_total_;
+    if (races_.size() >= kMaxRaces)
+        return;
+    RaceRecord r;
+    r.shared = shared;
+    r.slot = slot;
+    r.addr = addr;
+    r.tid_a = earlier.tid;
+    r.decision_a = earlier.decision;
+    r.kind_a = earlier.kind;
+    r.tid_b = tid;
+    r.decision_b = cur_decision_[tid];
+    r.kind_b = kind;
+    races_.push_back(r);
+}
+
+void
+HbTracker::onAccess(uint32_t tid, bool shared, uint32_t slot, uint64_t addr,
+                    uint32_t bytes, AccessKind kind)
+{
+    GPULP_ASSERT(tid < vc_.size(), "access by unknown tid %u", tid);
+
+    if (kind == AccessKind::AtomicRmw) {
+        // The simulator serializes atomics per address; model that as
+        // acquire/release through a per-address clock so atomic–atomic
+        // pairs are ordered. Sync *before* the conflict check: the
+        // previous atomic accessor must already be ordered.
+        VectorClock &avc = atomic_vc_[byteKey(shared, slot, addr)];
+        vc_[tid].join(avc);
+        avc = vc_[tid];
+    }
+
+    const uint64_t clock = epoch_[tid];
+    const bool is_write = kind != AccessKind::Load;
+    // One multi-byte access conflicting with one prior epoch is ONE
+    // race, not bytes-many: dedup the pairs flagged by this call.
+    auto fresh = [&](const Epoch &e) {
+        for (const auto &[t, c] : flagged_this_access_) {
+            if (t == e.tid && c == e.clock)
+                return false;
+        }
+        flagged_this_access_.emplace_back(e.tid, e.clock);
+        return true;
+    };
+    flagged_this_access_.clear();
+    for (uint32_t i = 0; i < bytes; ++i) {
+        Cell &cell = cells_[byteKey(shared, slot, addr + i)];
+        // Check against the last write (every access conflicts with a
+        // write), then against reads (only writes conflict with them).
+        const Epoch &w = cell.write;
+        if (w.tid != SchedulePolicy::kNoTid && w.tid != tid &&
+            !ordered(w, tid) &&
+            !(w.kind == AccessKind::AtomicRmw &&
+              kind == AccessKind::AtomicRmw) &&
+            fresh(w)) {
+            flag(w, tid, kind, shared, slot, addr + i);
+        }
+        if (is_write) {
+            for (const Epoch &r : cell.reads) {
+                if (r.tid != tid && !ordered(r, tid) && fresh(r))
+                    flag(r, tid, kind, shared, slot, addr + i);
+            }
+            cell.reads.clear();
+            cell.write =
+                Epoch{tid, clock, cur_decision_[tid], kind};
+        } else {
+            // Keep at most one read epoch per tid (the latest).
+            bool updated = false;
+            for (Epoch &r : cell.reads) {
+                if (r.tid == tid) {
+                    r.clock = clock;
+                    r.decision = cur_decision_[tid];
+                    updated = true;
+                    break;
+                }
+            }
+            if (!updated)
+                cell.reads.push_back(
+                    Epoch{tid, clock, cur_decision_[tid], kind});
+        }
+    }
+}
+
+} // namespace gpulp

@@ -106,6 +106,8 @@ runCell(const CampaignOptions &opts, const std::string &name,
     NvmParams nparams;
     nparams.cache_bytes = opts.nvm_cache_bytes;
     NvmCache nvm(dev.mem(), nparams);
+    if (opts.policy_factory)
+        dev.setSchedulePolicyFactory(opts.policy_factory);
     // GPULP_NVM_DEVICE=file:<path> runs the cell against the
     // file-backed device; each cell starts the log fresh.
     std::unique_ptr<PersistLog> log = persistLogFromEnv(/*truncate=*/true);

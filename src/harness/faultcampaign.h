@@ -42,6 +42,7 @@
 #include "core/lp_config.h"
 #include "mem/timing.h"
 #include "obs/counters.h"
+#include "sim/sched_policy.h"
 
 namespace gpulp {
 
@@ -85,6 +86,15 @@ struct CampaignOptions {
 
     /** Checksum kinds to sweep. */
     std::vector<ChecksumKind> checksums = {ChecksumKind::ModularParity};
+
+    /**
+     * Optional schedule policy installed on every cell's device (empty
+     * = the production deterministic scheduler). Lets the campaign's
+     * crash sweep run under an adversarial resume order, crossing
+     * crash-at-store injection with schedule exploration (see
+     * src/analysis/explorer.h and docs/SCHEDULE_EXPLORATION.md).
+     */
+    SchedulePolicyFactory policy_factory;
 };
 
 /** Outcome of one crash point within a cell. */

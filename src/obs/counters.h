@@ -109,7 +109,16 @@ namespace gpulp::obs {
       "recovery")                                                             \
     X(RecoveryCrashesSurvived, "recovery.crashes_survived", "crashes",        \
       "recovery")                                                             \
-    X(RecoveryConverged,   "recovery.converged",     "runs",    "recovery")
+    X(RecoveryConverged,   "recovery.converged",     "runs",    "recovery")   \
+    /* analysis: schedule explorer (src/analysis) */                          \
+    X(AnalysisSchedulesRun, "analysis.schedules_run", "runs", "analysis")     \
+    X(AnalysisDecisions,   "analysis.sched_decisions", "decisions",           \
+      "analysis")                                                             \
+    X(AnalysisRaces,       "analysis.races_flagged", "races", "analysis")     \
+    X(AnalysisBacktracks,  "analysis.backtracks_enqueued", "prefixes",        \
+      "analysis")                                                             \
+    X(AnalysisViolations,  "analysis.invariant_violations", "violations",     \
+      "analysis")
 
 /** Histogram catalog: symbol, dotted name, unit of samples, subsystem. */
 #define GPULP_HISTOGRAM_LIST(X)                                               \

@@ -75,6 +75,15 @@ Device::runBlockLocal(const LaunchConfig &cfg, uint64_t rank,
                      params_.shared_bytes, gate, rank, &ordered_regions_);
     const uint32_t n = state.numThreads();
 
+    std::unique_ptr<SchedulePolicy> policy;
+    if (sched_policy_factory_) {
+        policy = sched_policy_factory_(rank);
+        if (policy) {
+            state.setSchedulePolicy(policy.get());
+            policy->onBlockStart(n);
+        }
+    }
+
     std::vector<ThreadCtx> ctxs;
     ctxs.reserve(n);
     for (uint32_t t = 0; t < n; ++t) {
@@ -133,6 +142,8 @@ Device::runBlockLocal(const LaunchConfig &cfg, uint64_t rank,
                         state.liveThreads());
         }
         ++switches;
+        if (policy)
+            policy->onResume(t);
         fibers[t]->resume();
         if (fibers[t]->finished())
             state.onThreadExit(ctxs[t]);

@@ -150,6 +150,20 @@ class Device
     /** Drop all declared ordered regions. */
     void clearOrderedRegions();
 
+    /**
+     * Install a per-block schedule-policy factory (see
+     * sim/sched_policy.h): every subsequent block run asks it for a
+     * policy (nullptr result = default deterministic pick for that
+     * block). Pass an empty function to uninstall. The analysis layer
+     * uses this to permute resume order and record traces; production
+     * paths leave it unset.
+     */
+    void
+    setSchedulePolicyFactory(SchedulePolicyFactory factory)
+    {
+        sched_policy_factory_ = std::move(factory);
+    }
+
   private:
     /**
      * Per-worker reusable execution state. Each worker owns its own
@@ -198,6 +212,7 @@ class Device
     uint64_t launch_count_ = 0;
 
     OrderedRegions ordered_regions_;
+    SchedulePolicyFactory sched_policy_factory_;
     std::unique_ptr<ThreadPool> pool_;
     std::vector<std::unique_ptr<WorkerState>> worker_states_;
 };

@@ -12,6 +12,49 @@ namespace gpulp {
 // ReadySet
 // ---------------------------------------------------------------------
 
+void
+ReadySet::collect(std::vector<uint32_t> &out) const
+{
+    out.clear();
+    for (size_t w = 0; w < bits_.size(); ++w) {
+        uint64_t word = bits_[w];
+        while (word != 0) {
+            out.push_back(static_cast<uint32_t>(
+                w * 64 + static_cast<size_t>(std::countr_zero(word))));
+            word &= word - 1;
+        }
+    }
+}
+
+bool
+ReadySet::take(uint32_t tid)
+{
+    if (tid >= n_)
+        return false;
+    uint64_t &word = bits_[tid >> 6];
+    uint64_t mask = uint64_t{1} << (tid & 63);
+    if (!(word & mask))
+        return false;
+    word &= ~mask;
+    --count_;
+    return true;
+}
+
+#ifndef NDEBUG
+uint32_t
+ReadySet::debugFindNextFrom(uint32_t from) const
+{
+    if (count_ == 0)
+        return kNone;
+    for (uint32_t i = 0; i < n_; ++i) {
+        uint32_t tid = (from + i) % n_;
+        if (bits_[tid >> 6] & (uint64_t{1} << (tid & 63)))
+            return tid;
+    }
+    return kNone;
+}
+#endif
+
 uint32_t
 ReadySet::popNextSlow(uint32_t from)
 {
@@ -70,9 +113,30 @@ BlockState::BlockState(GlobalMemory &mem, MemTiming &timing, NvmCache *nvm,
         ready_.add(t);
 }
 
+namespace {
+
+/** Expand a wait bitmap into flat tids for the policy's release hook. */
 void
-BlockState::parkOn(WaitSet &waiters, uint32_t tid)
+collectWaiters(const std::vector<uint64_t> &bits, std::vector<uint32_t> &out)
 {
+    out.clear();
+    for (size_t w = 0; w < bits.size(); ++w) {
+        uint64_t word = bits[w];
+        while (word != 0) {
+            out.push_back(static_cast<uint32_t>(
+                w * 64 + static_cast<size_t>(std::countr_zero(word))));
+            word &= word - 1;
+        }
+    }
+}
+
+} // namespace
+
+void
+BlockState::parkOn(WaitSet &waiters, uint32_t tid, SchedEvent ev)
+{
+    if (policy_ != nullptr)
+        policy_->onPark(tid, ev);
     waiters.park(tid);
     Fiber::yield();
 }
@@ -80,26 +144,56 @@ BlockState::parkOn(WaitSet &waiters, uint32_t tid)
 void
 BlockState::parkOnWarp(WarpState &w, uint32_t tid)
 {
+    if (policy_ != nullptr) {
+        size_t warp_idx = static_cast<size_t>(&w - warps_.data());
+        policy_->onPark(tid, warpEvent(static_cast<uint32_t>(warp_idx)));
+    }
     w.wait_mask |= uint64_t{1} << (tid & 63);
     Fiber::yield();
 }
 
 void
-BlockState::wake(WaitSet &waiters)
+BlockState::wake(WaitSet &waiters, SchedEvent ev, uint32_t releaser)
 {
+    if (policy_ != nullptr && waiters.count > 0) {
+        std::vector<uint32_t> woken_tids;
+        collectWaiters(waiters.bits, woken_tids);
+        policy_->onRelease(ev, woken_tids.data(),
+                           static_cast<uint32_t>(woken_tids.size()),
+                           releaser);
+    }
     uint32_t woken = ready_.absorb(waiters);
     if (woken > 0)
         obs::add(obs::Ctr::SimFiberWakeups, woken);
 }
 
 void
-BlockState::wakeWarp(WarpState &w)
+BlockState::wakeWarp(WarpState &w, SchedEvent ev, uint32_t releaser)
 {
-    if (w.wait_mask == 0)
+    if (w.wait_mask == 0) {
+        // Nobody parked, but the round still released: an arriving
+        // releaser synchronized with lanes that never yielded.
+        if (policy_ != nullptr)
+            policy_->onRelease(ev, nullptr, 0, releaser);
         return;
+    }
     static_assert(64 % kWarpSize == 0,
                   "a warp's tids must fit in one ready-set word");
     size_t warp_idx = static_cast<size_t>(&w - warps_.data());
+    if (policy_ != nullptr) {
+        std::vector<uint32_t> woken_tids;
+        uint64_t mask = w.wait_mask;
+        uint32_t base =
+            static_cast<uint32_t>((warp_idx * kWarpSize) & ~size_t{63});
+        while (mask != 0) {
+            woken_tids.push_back(
+                base + static_cast<uint32_t>(std::countr_zero(mask)));
+            mask &= mask - 1;
+        }
+        policy_->onRelease(ev, woken_tids.data(),
+                           static_cast<uint32_t>(woken_tids.size()),
+                           releaser);
+    }
     uint32_t woken =
         ready_.absorbWord((warp_idx * kWarpSize) >> 6, w.wait_mask);
     w.wait_mask = 0;
@@ -118,10 +212,15 @@ BlockState::onThreadExit(ThreadCtx &thread)
     GPULP_ASSERT(warp.live > 0, "more lane exits than live lanes");
     --warp.live;
 
+    if (policy_ != nullptr)
+        policy_->onExit(thread.flat_tid_);
+
     // A departing thread may have been the last straggler a barrier or
-    // a warp collective was waiting for.
-    maybeReleaseBarrier();
-    maybeReleaseWarp(warp);
+    // a warp collective was waiting for. The exit is not an arrival, so
+    // no releaser tid: the departing thread's later accesses (there are
+    // none) must not be ordered before the woken threads'.
+    maybeReleaseBarrier(SchedulePolicy::kNoTid);
+    maybeReleaseWarp(warp, SchedulePolicy::kNoTid);
 }
 
 size_t
@@ -154,30 +253,37 @@ BlockState::gateOrdering(uint32_t tid)
         checkCrash();
         // Park on the gate wait list: the runner wakes the whole list
         // when the frontier reaches this rank (or a crash latches, in
-        // which case checkCrash() unwinds the fiber on re-entry).
-        parkOn(gate_waiters_, tid);
+        // which case checkCrash() unwinds the fiber on re-entry). The
+        // event id is the epoch of the wake that will release us.
+        parkOn(gate_waiters_, tid,
+               SchedEvent{SchedEventKind::RankGate, gate_wake_epoch_});
     }
     gate_leader_ = true;
 }
 
 void
-BlockState::maybeReleaseBarrier()
+BlockState::maybeReleaseBarrier(uint32_t releaser)
 {
     if (bar_arrived_ == 0 || bar_arrived_ != live_)
         return;
+    // Capture the event before the generation bump: waiters parked on
+    // generation g are released by the event named g.
+    SchedEvent ev = barrierEvent();
     bar_release_cycle_ =
         bar_max_arrival_ + timing_.params().barrier_cycles;
     bar_arrived_ = 0;
     bar_max_arrival_ = 0;
     ++bar_generation_;
-    wake(bar_waiters_);
+    wake(bar_waiters_, ev, releaser);
 }
 
 void
-BlockState::maybeReleaseWarp(WarpState &w)
+BlockState::maybeReleaseWarp(WarpState &w, uint32_t releaser)
 {
     if (w.arrived == 0 || w.arrived != w.live)
         return;
+    SchedEvent ev =
+        warpEvent(static_cast<uint32_t>(&w - warps_.data()));
     // Snapshot per-lane results so the next collective may reuse buf
     // before every lane has consumed this round.
     for (uint32_t lane = 0; lane < w.lanes; ++lane) {
@@ -191,7 +297,7 @@ BlockState::maybeReleaseWarp(WarpState &w)
     w.max_arrival = 0;
     w.deposited = 0;
     ++w.generation;
-    wakeWarp(w);
+    wakeWarp(w, ev, releaser);
 }
 
 // ---------------------------------------------------------------------
@@ -216,6 +322,7 @@ ThreadCtx::atomicCAS64(Addr addr, uint64_t compare, uint64_t value)
 {
     block_.checkCrash();
     block_.gateOrdering(flat_tid_);
+    noteAtomic(addr, 8);
     uint64_t old;
     {
         std::lock_guard<std::mutex> lk(block_.mem_.rmwMutex(addr));
@@ -238,6 +345,7 @@ ThreadCtx::atomicExch64(Addr addr, uint64_t value)
 {
     block_.checkCrash();
     block_.gateOrdering(flat_tid_);
+    noteAtomic(addr, 8);
     uint64_t old;
     {
         std::lock_guard<std::mutex> lk(block_.mem_.rmwMutex(addr));
@@ -259,6 +367,7 @@ ThreadCtx::atomicAddF(Addr addr, float delta)
 {
     block_.checkCrash();
     block_.gateOrdering(flat_tid_);
+    noteAtomic(addr, 4);
     float old;
     {
         std::lock_guard<std::mutex> lk(block_.mem_.rmwMutex(addr));
@@ -317,6 +426,7 @@ ThreadCtx::lockAcquire(Addr addr)
 {
     block_.checkCrash();
     block_.gateOrdering(flat_tid_);
+    noteAtomic(addr, 4);
     // Functionally the lock is always free by the time this block may
     // touch it (rank ordering); the *queueing delay* of contenders is
     // modelled by MemTiming's serialization window, which
@@ -329,6 +439,7 @@ void
 ThreadCtx::lockRelease(Addr addr)
 {
     block_.checkCrash();
+    noteAtomic(addr, 4);
     block_.mem_.write<uint32_t>(addr, 0);
     cycles_ += block_.timing_.params().global_issue_cycles;
     block_.timing_.holdAddressUntil(addr, cycles_, flat_tid_);
@@ -343,9 +454,10 @@ ThreadCtx::syncthreads()
     uint64_t gen = b.bar_generation_;
     b.bar_max_arrival_ = std::max(b.bar_max_arrival_, cycles_);
     ++b.bar_arrived_;
-    b.maybeReleaseBarrier();
+    b.maybeReleaseBarrier(flat_tid_);
     while (b.bar_generation_ == gen) {
-        b.parkOn(b.bar_waiters_, flat_tid_);
+        b.parkOn(b.bar_waiters_, flat_tid_,
+                 SchedEvent{SchedEventKind::Barrier, gen});
         // Woken either by the release or by a crash drain; re-check so
         // a latched crash unwinds this fiber instead of re-parking.
         b.checkCrash();
@@ -376,7 +488,7 @@ ThreadCtx::shflDownRaw(uint64_t value, uint32_t delta)
     w.deposited |= 1u << lane;
     w.max_arrival = std::max(w.max_arrival, cycles_);
     ++w.arrived;
-    b.maybeReleaseWarp(w);
+    b.maybeReleaseWarp(w, flat_tid_);
     while (w.generation == gen) {
         b.parkOnWarp(w, flat_tid_);
         b.checkCrash();

@@ -36,6 +36,7 @@
 #include "mem/memory.h"
 #include "mem/timing.h"
 #include "nvm/nvm_cache.h"
+#include "sim/sched_policy.h"
 #include "sim/thread_pool.h"
 #include "sim/types.h"
 
@@ -101,9 +102,13 @@ struct WaitSet {
 /**
  * The scheduler's ready set: a bitmap over flat tids supporting the
  * cyclic lowest-next pick the block runner resumes fibers in. The
- * bitmap (rather than a FIFO) makes wake order irrelevant — resume
- * order is always flat-tid-sorted from the last resumed thread,
- * matching the retired round-robin pass order bit for bit.
+ * bitmap (rather than a FIFO) is what makes wake order irrelevant
+ * under the default deterministic pick — resume order is always
+ * flat-tid-sorted from the last resumed thread, matching the retired
+ * round-robin pass order bit for bit. Debug builds assert both halves
+ * of that claim: absorbed waiters are disjoint from the ready bits
+ * (so insertion order cannot matter) and every pick is the cyclically
+ * smallest ready tid (so extraction is sorted).
  */
 class ReadySet
 {
@@ -145,11 +150,19 @@ class ReadySet
         if (woken == 0)
             return 0;
         for (size_t i = 0; i < bits_.size(); ++i) {
+#ifndef NDEBUG
+            GPULP_ASSERT((bits_[i] & ws.bits[i]) == 0,
+                         "waiter word %zu overlaps the ready set: a "
+                         "parked thread is already ready, so wake "
+                         "order would matter",
+                         i);
+#endif
             bits_[i] |= ws.bits[i];
             ws.bits[i] = 0;
         }
         count_ += woken;
         ws.count = 0;
+        debugCheckCount();
         return woken;
     }
 
@@ -160,10 +173,15 @@ class ReadySet
     uint32_t
     absorbWord(size_t word_idx, uint64_t mask)
     {
+#ifndef NDEBUG
+        GPULP_ASSERT((bits_[word_idx] & mask) == 0,
+                     "warp wait mask overlaps the ready set");
+#endif
         uint32_t woken =
             static_cast<uint32_t>(std::popcount(mask));
         bits_[word_idx] |= mask;
         count_ += woken;
+        debugCheckCount();
         return woken;
     }
 
@@ -179,20 +197,71 @@ class ReadySet
     {
         if (from >= n_)
             from = 0;
+#ifndef NDEBUG
+        const uint32_t expect = debugFindNextFrom(from);
+#endif
+        uint32_t picked;
         uint64_t word =
             bits_[from >> 6] & (~uint64_t{0} << (from & 63));
         if (word != 0) {
             bits_[from >> 6] &= ~(word & -word);
             --count_;
-            return (from & ~uint32_t{63}) +
-                   static_cast<uint32_t>(std::countr_zero(word));
+            picked = (from & ~uint32_t{63}) +
+                     static_cast<uint32_t>(std::countr_zero(word));
+        } else {
+            picked = popNextSlow(from);
         }
-        return popNextSlow(from);
+#ifndef NDEBUG
+        GPULP_ASSERT(picked == expect,
+                     "resume pick from tid %u chose %u, but the "
+                     "cyclically smallest ready tid is %u: picks are "
+                     "no longer flat-tid-sorted",
+                     from, picked, expect);
+#endif
+        return picked;
     }
+
+    /**
+     * Copy the ready tids, ascending, into @p out (cleared first).
+     * Analysis-path helper for policies that permute the pick.
+     */
+    void collect(std::vector<uint32_t> &out) const;
+
+    /**
+     * Remove a specific ready tid. @return false (and no change) when
+     * @p tid was not ready. Analysis-path helper for replaying a
+     * recorded schedule.
+     */
+    bool take(uint32_t tid);
 
   private:
     /** Wrapping word scan for the out-of-word case. */
     uint32_t popNextSlow(uint32_t from);
+
+    /** Debug: count_ must equal the popcount of the bitmap. */
+    void
+    debugCheckCount() const
+    {
+#ifndef NDEBUG
+        uint32_t bits = 0;
+        for (uint64_t w : bits_)
+            bits += static_cast<uint32_t>(std::popcount(w));
+        GPULP_ASSERT(bits == count_,
+                     "ready-set count %u disagrees with bitmap "
+                     "popcount %u",
+                     count_, bits);
+#endif
+    }
+
+#ifndef NDEBUG
+    /**
+     * Debug reference: the cyclically smallest ready tid >= @p from,
+     * computed by a plain non-destructive scan. popNextFrom() must
+     * return exactly this — the flat-tid-sorted resume pick that makes
+     * wake order irrelevant under DeterministicPolicy.
+     */
+    uint32_t debugFindNextFrom(uint32_t from) const;
+#endif
 
     std::vector<uint64_t> bits_;
     uint32_t n_;
@@ -243,15 +312,30 @@ class BlockState
     // Event-driven scheduling (the block runner's interface) ----------------
 
     /**
-     * Claim the next thread to resume: the smallest ready tid strictly
-     * after @p last in cyclic flat-tid order (pass kNoThread to start
-     * from tid 0), removed from the ready set. Returns kNoThread when
-     * no thread is ready — then either gateParkedThreads() > 0 (the
-     * block waits on lower ranks) or the block is deadlocked.
+     * Install a resume-order policy for this block run (nullptr
+     * restores the default deterministic pick). Not owned; must
+     * outlive the run. The runner installs it before the first
+     * popReady().
+     */
+    void setSchedulePolicy(SchedulePolicy *policy) { policy_ = policy; }
+
+    /** The installed policy, or nullptr on the default path. */
+    SchedulePolicy *schedulePolicy() { return policy_; }
+
+    /**
+     * Claim the next thread to resume. On the default path: the
+     * smallest ready tid strictly after @p last in cyclic flat-tid
+     * order (pass kNoThread to start from tid 0), removed from the
+     * ready set. With a policy installed the pick is delegated to it.
+     * Returns kNoThread when no thread is ready — then either
+     * gateParkedThreads() > 0 (the block waits on lower ranks) or the
+     * block is deadlocked.
      */
     uint32_t
     popReady(uint32_t last)
     {
+        if (policy_ != nullptr)
+            return policy_->pick(ready_, last);
         return ready_.popNextFrom(last == kNoThread ? 0 : last + 1);
     }
 
@@ -265,9 +349,16 @@ class BlockState
      * Move every gate-parked thread back to the ready set. The runner
      * calls this after RankGate::awaitLeader returns — on leadership
      * the woken fibers proceed; on crash-abort they observe the latch
-     * and unwind via SimCrash.
+     * and unwind via SimCrash. The wake is the runner's doing, not any
+     * thread's arrival, so the release event carries no releaser tid.
      */
-    void wakeGateParked() { wake(gate_waiters_); }
+    void
+    wakeGateParked()
+    {
+        wake(gate_waiters_,
+             SchedEvent{SchedEventKind::RankGate, gate_wake_epoch_++},
+             SchedulePolicy::kNoTid);
+    }
 
     /**
      * Resolve or allocate the shared-memory slot @p slot_id of
@@ -329,27 +420,48 @@ class BlockState
 
     /**
      * Release the block barrier if all live threads arrived, moving
-     * its waiters back to the ready set.
+     * its waiters back to the ready set. @p releaser is the arriving
+     * tid whose arrival may complete the barrier, or
+     * SchedulePolicy::kNoTid when called from a thread exit.
      */
-    void maybeReleaseBarrier();
+    void maybeReleaseBarrier(uint32_t releaser);
 
     /**
      * Release warp @p w's collective if all its live lanes arrived,
-     * moving its waiters back to the ready set.
+     * moving its waiters back to the ready set. @p releaser as for
+     * maybeReleaseBarrier().
      */
-    void maybeReleaseWarp(WarpState &w);
+    void maybeReleaseWarp(WarpState &w, uint32_t releaser);
 
-    /** Park the running fiber @p tid on @p waiters and yield. */
-    void parkOn(WaitSet &waiters, uint32_t tid);
+    /** Park the running fiber @p tid on @p waiters (event @p ev for
+     *  the policy hook) and yield. */
+    void parkOn(WaitSet &waiters, uint32_t tid, SchedEvent ev);
 
     /** Park the running fiber @p tid on warp @p w's round and yield. */
     void parkOnWarp(WarpState &w, uint32_t tid);
 
-    /** Move every tid on @p waiters back to the ready set. */
-    void wake(WaitSet &waiters);
+    /** Move every tid on @p waiters back to the ready set, reporting
+     *  release of @p ev by @p releaser to the policy (if any). */
+    void wake(WaitSet &waiters, SchedEvent ev, uint32_t releaser);
 
     /** Move warp @p w's parked lanes back to the ready set. */
-    void wakeWarp(WarpState &w);
+    void wakeWarp(WarpState &w, SchedEvent ev, uint32_t releaser);
+
+    /** SchedEvent for the current (pre-increment) barrier generation. */
+    SchedEvent
+    barrierEvent() const
+    {
+        return SchedEvent{SchedEventKind::Barrier, bar_generation_};
+    }
+
+    /** SchedEvent for warp @p warp_idx's current collective round. */
+    SchedEvent
+    warpEvent(uint32_t warp_idx) const
+    {
+        return SchedEvent{SchedEventKind::WarpCollective,
+                          (uint64_t{warp_idx} << 32) |
+                              (warps_[warp_idx].generation & 0xffffffffu)};
+    }
 
     GlobalMemory &mem_;
     MemTiming &timing_;
@@ -385,6 +497,11 @@ class BlockState
     ReadySet ready_;
     WaitSet bar_waiters_;
     WaitSet gate_waiters_;
+
+    // Analysis hooks: null on the production path (a single untaken
+    // branch per decision point / access).
+    SchedulePolicy *policy_ = nullptr;
+    uint64_t gate_wake_epoch_ = 0;
 };
 
 /**
@@ -396,8 +513,8 @@ class SharedRef
 {
   public:
     SharedRef() = default;
-    SharedRef(ThreadCtx *thread, T *data, size_t count)
-        : thread_(thread), data_(data), count_(count)
+    SharedRef(ThreadCtx *thread, T *data, size_t count, uint32_t slot_id)
+        : thread_(thread), data_(data), count_(count), slot_id_(slot_id)
     {
     }
 
@@ -417,6 +534,7 @@ class SharedRef
     ThreadCtx *thread_ = nullptr;
     T *data_ = nullptr;
     size_t count_ = 0;
+    uint32_t slot_id_ = 0;
 };
 
 /**
@@ -509,6 +627,9 @@ class ThreadCtx
         block_.checkCrash();
         if (block_.mustOrder(addr, sizeof(T)))
             block_.gateOrdering(flat_tid_);
+        if (block_.policy_ != nullptr)
+            block_.policy_->onGlobalAccess(flat_tid_, addr, sizeof(T),
+                                           AccessKind::Load);
         cycles_ += block_.timing_.onGlobalLoad(sizeof(T));
         return block_.mem_.read<T>(addr);
     }
@@ -521,6 +642,9 @@ class ThreadCtx
         block_.checkCrash();
         if (block_.mustOrder(addr, sizeof(T)))
             block_.gateOrdering(flat_tid_);
+        if (block_.policy_ != nullptr)
+            block_.policy_->onGlobalAccess(flat_tid_, addr, sizeof(T),
+                                           AccessKind::Store);
         cycles_ += block_.timing_.onGlobalStore(sizeof(T));
         block_.mem_.write<T>(addr, value);
     }
@@ -607,7 +731,7 @@ class ThreadCtx
         size_t off = block_.sharedSlot(slot_id, count * sizeof(T));
         return SharedRef<T>(this,
                             reinterpret_cast<T *>(block_.sharedRaw(off)),
-                            count);
+                            count, slot_id);
     }
 
     // Collectives ------------------------------------------------------------
@@ -646,6 +770,25 @@ class ThreadCtx
         return block_.timing_.params();
     }
 
+    /** Policy hook relay for SharedRef accesses. */
+    void
+    noteSharedAccess(uint32_t slot, uint32_t offset, uint32_t bytes,
+                     AccessKind kind)
+    {
+        if (block_.policy_ != nullptr)
+            block_.policy_->onSharedAccess(flat_tid_, slot, offset, bytes,
+                                           kind);
+    }
+
+    /** Policy hook relay for out-of-line atomic paths (exec.cc). */
+    void
+    noteAtomic(Addr addr, uint32_t bytes)
+    {
+        if (block_.policy_ != nullptr)
+            block_.policy_->onGlobalAccess(flat_tid_, addr, bytes,
+                                           AccessKind::AtomicRmw);
+    }
+
     /** Functional+timed read-modify-write helper for 32-bit atomics. */
     template <typename Op>
     uint32_t
@@ -653,6 +796,7 @@ class ThreadCtx
     {
         block_.checkCrash();
         block_.gateOrdering(flat_tid_);
+        noteAtomic(addr, 4);
         uint32_t old, next;
         {
             // Host-atomic RMW: relevant only in relaxed-order mode,
@@ -681,6 +825,9 @@ SharedRef<T>::get(size_t index) const
 {
     GPULP_ASSERT(index < count_, "shared load index %zu out of %zu", index,
                  count_);
+    thread_->noteSharedAccess(slot_id_,
+                              static_cast<uint32_t>(index * sizeof(T)),
+                              sizeof(T), AccessKind::Load);
     thread_->cycles_ += thread_->timingParams().shared_access_cycles;
     return data_[index];
 }
@@ -691,6 +838,9 @@ SharedRef<T>::set(size_t index, T value)
 {
     GPULP_ASSERT(index < count_, "shared store index %zu out of %zu", index,
                  count_);
+    thread_->noteSharedAccess(slot_id_,
+                              static_cast<uint32_t>(index * sizeof(T)),
+                              sizeof(T), AccessKind::Store);
     thread_->cycles_ += thread_->timingParams().shared_access_cycles;
     data_[index] = value;
 }
@@ -701,6 +851,9 @@ SharedRef<T>::atomicAdd(size_t index, T delta)
 {
     GPULP_ASSERT(index < count_, "shared atomic index %zu out of %zu", index,
                  count_);
+    thread_->noteSharedAccess(slot_id_,
+                              static_cast<uint32_t>(index * sizeof(T)),
+                              sizeof(T), AccessKind::AtomicRmw);
     // Shared atomics are fast and bank-arbitrated; charge a small
     // constant on top of the access itself.
     thread_->cycles_ += thread_->timingParams().shared_access_cycles + 2;

@@ -312,7 +312,8 @@ TEST_F(ObsTest, CatalogIsWellFormed)
 {
     std::set<std::string> seen;
     const std::set<std::string> subsystems = {"nvm", "store", "sim",
-                                             "core", "recovery"};
+                                             "core", "recovery",
+                                             "analysis"};
     for (size_t c = 0; c < kNumCounters; ++c) {
         Ctr ctr = static_cast<Ctr>(c);
         std::string n = name(ctr);

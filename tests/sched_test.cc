@@ -21,6 +21,7 @@
 #include "core/lp_config.h"
 #include "core/runtime.h"
 #include "obs/counters.h"
+#include "sim/exec.h"
 #include "sim/thread_pool.h"
 #include "workloads/workload.h"
 
@@ -187,6 +188,40 @@ TEST(SchedTest, BarrierStormSwitchesScaleWithArrivalsNotPasses)
     // is ~6.5x).
     constexpr uint64_t kPollSchedulerResumes = 129048;
     EXPECT_LE(switches, kPollSchedulerResumes / 2);
+}
+
+// ---------------------------------------------------------------------
+// ReadySet pick order (satellite of the schedule-explorer PR)
+// ---------------------------------------------------------------------
+
+/**
+ * The exec.h contract says wake order is irrelevant *because* the
+ * ready set re-sorts: the default pick is the smallest flat tid at or
+ * after the cursor, cyclically, no matter in which order tids were
+ * added. Debug builds additionally assert this inside popNextFrom on
+ * every pick; this test pins the semantics in release builds too.
+ */
+TEST(SchedTest, ReadySetPicksAreFlatTidSortedCyclic)
+{
+    ReadySet rs(128);
+    // Deliberately unsorted insertion order.
+    rs.add(5);
+    rs.add(64);
+    rs.add(1);
+    rs.add(90);
+    EXPECT_EQ(rs.size(), 4u);
+
+    std::vector<uint32_t> tids;
+    rs.collect(tids);
+    EXPECT_EQ(tids, (std::vector<uint32_t>{1, 5, 64, 90}));
+
+    EXPECT_EQ(rs.popNextFrom(6), 64u) << "smallest tid at/after cursor";
+    EXPECT_EQ(rs.popNextFrom(91), 1u) << "cursor past the top wraps";
+    EXPECT_TRUE(rs.take(5));
+    EXPECT_FALSE(rs.take(5)) << "double-take must fail";
+    EXPECT_EQ(rs.popNextFrom(0), 90u);
+    EXPECT_TRUE(rs.empty());
+    EXPECT_EQ(rs.popNextFrom(0), ReadySet::kNone);
 }
 
 // ---------------------------------------------------------------------

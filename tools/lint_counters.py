@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Cross-check the src/obs counter catalog against docs/METRICS.md.
+
+The X-macro lists in src/obs/counters.h (GPULP_COUNTER_LIST and
+GPULP_HISTOGRAM_LIST) are the normative catalog; docs/METRICS.md claims
+to document every entry. This lint fails when either side drifts:
+
+  - a counter/histogram exists in the catalog but has no METRICS.md row
+    (undocumented metric),
+  - a METRICS.md row names a metric the catalog no longer has (stale
+    documentation),
+  - the documented unit differs from the catalog unit,
+  - a catalog entry's dotted name does not start with its subsystem tag
+    (the convention ObsTest.CatalogIsWellFormed enforces at runtime --
+    checked here too so the docs job catches it without a build).
+
+Usage: lint_counters.py [repo_root]     (exit 0 clean, 1 on drift)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+
+def parse_catalog(counters_h: str):
+    """Yield (name, unit, subsystem, is_histogram) from the X-macros."""
+    entries = []
+    for macro, is_hist in (("GPULP_COUNTER_LIST", False),
+                           ("GPULP_HISTOGRAM_LIST", True)):
+        m = re.search(rf"#define {macro}\(X\)(.*?)(?:\n(?!\s|/)|\Z)",
+                      counters_h, re.S)
+        if not m:
+            sys.exit(f"lint_counters: cannot find {macro} in counters.h")
+        body = m.group(1)
+        # Entries may wrap across continuation lines; flatten first.
+        flat = body.replace("\\\n", " ")
+        for em in re.finditer(
+                r'X\(\s*\w+\s*,\s*"([^"]+)"\s*,\s*"([^"]+)"\s*,\s*'
+                r'"([^"]+)"\s*\)', flat):
+            entries.append((em.group(1), em.group(2), em.group(3),
+                            is_hist))
+    return entries
+
+
+def parse_docs(metrics_md: str):
+    """Yield (name, unit, is_histogram) from METRICS.md table rows."""
+    rows = []
+    in_hist = False
+    for line in metrics_md.splitlines():
+        if line.startswith("## "):
+            in_hist = line.strip() == "## Histograms"
+        m = re.match(r"\|\s*`([a-z0-9_.]+)`\s*\|\s*([^|]+?)\s*\|", line)
+        if m:
+            rows.append((m.group(1), m.group(2), in_hist))
+    return rows
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    counters_h = (root / "src/obs/counters.h").read_text()
+    metrics_md = (root / "docs/METRICS.md").read_text()
+
+    catalog = parse_catalog(counters_h)
+    docs = parse_docs(metrics_md)
+    errors = []
+
+    cat_by_name = {}
+    for name, unit, subsys, is_hist in catalog:
+        if name in cat_by_name:
+            errors.append(f"catalog: duplicate metric name `{name}`")
+        cat_by_name[name] = (unit, subsys, is_hist)
+        if not name.startswith(subsys + "."):
+            errors.append(
+                f"catalog: `{name}` is tagged subsystem `{subsys}` but "
+                f"its dotted name does not start with `{subsys}.`")
+
+    doc_by_name = {}
+    for name, unit, is_hist in docs:
+        if name in doc_by_name:
+            errors.append(f"METRICS.md: duplicate row for `{name}`")
+        doc_by_name[name] = (unit, is_hist)
+
+    for name, (unit, _subsys, is_hist) in sorted(cat_by_name.items()):
+        if name not in doc_by_name:
+            kind = "histogram" if is_hist else "counter"
+            errors.append(
+                f"undocumented {kind}: `{name}` ({unit}) is in the "
+                f"counters.h catalog but has no METRICS.md row")
+            continue
+        doc_unit, doc_hist = doc_by_name[name]
+        if doc_unit != unit:
+            errors.append(
+                f"unit drift for `{name}`: catalog says `{unit}`, "
+                f"METRICS.md says `{doc_unit}`")
+        if doc_hist != is_hist:
+            where = "Histograms" if is_hist else "a counter section"
+            errors.append(
+                f"misfiled row: `{name}` belongs under {where} in "
+                f"METRICS.md")
+
+    for name in sorted(doc_by_name):
+        if name not in cat_by_name:
+            errors.append(
+                f"stale documentation: METRICS.md documents `{name}` "
+                f"but the counters.h catalog has no such metric")
+
+    if errors:
+        for e in errors:
+            print(f"lint_counters: {e}", file=sys.stderr)
+        print(f"lint_counters: {len(errors)} error(s); catalog has "
+              f"{len(cat_by_name)} metrics, METRICS.md documents "
+              f"{len(doc_by_name)}", file=sys.stderr)
+        return 1
+    print(f"lint_counters: OK — {len(cat_by_name)} metrics documented "
+          f"and in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,6 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/prng.h"
 #include "common/table.h"
 #include "bench_env.h"
 #include "harness/driver.h"
@@ -29,7 +28,6 @@ struct OpCycles {
 std::vector<std::pair<uint32_t, uint32_t>>
 makeBatchKv(uint32_t n)
 {
-    Prng rng(0x4b56);
     std::vector<std::pair<uint32_t, uint32_t>> kv;
     kv.reserve(n);
     for (uint32_t i = 0; i < n; ++i)

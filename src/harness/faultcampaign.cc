@@ -225,6 +225,27 @@ pickCrashPoints(uint32_t grid_points, uint32_t random_points,
     return points;
 }
 
+CrashSchedule::CrashSchedule(uint32_t points, uint64_t horizon_stores,
+                             Prng &rng)
+{
+    uint32_t grid = points / 2 + points % 2;
+    points_ = pickCrashPoints(grid, points - grid, horizon_stores, rng);
+}
+
+uint64_t
+CrashSchedule::nextAfter(uint64_t observed)
+{
+    auto it = points_.upper_bound(observed);
+    // Points at or behind the current store count can no longer fire;
+    // a horizon underestimate strands them, so drop them silently.
+    points_.erase(points_.begin(), it);
+    if (points_.empty())
+        return 0;
+    uint64_t p = *points_.begin();
+    points_.erase(points_.begin());
+    return p;
+}
+
 BlockClassification
 classifyAgainstGolden(
     Device &dev, const LaunchConfig &launch, Workload &w,

@@ -183,6 +183,39 @@ std::set<uint64_t> pickCrashPoints(uint32_t grid_points,
                                    uint32_t random_points, uint64_t stores,
                                    Prng &rng);
 
+/**
+ * A consumable plan of crash points for an open-ended run — the
+ * serving case. The campaign knows its store horizon up front (one
+ * golden run per cell); a live server does not, so it estimates the
+ * horizon after the first batch, builds a schedule over it with
+ * pickCrashPoints(), and then pulls points one at a time as absolute
+ * observed-store counts to arm NvmCache::crashAfterStores() against.
+ */
+class CrashSchedule
+{
+  public:
+    /**
+     * @param points Total crash points to spread over the horizon
+     *        (half grid, half Prng-drawn, like a campaign cell).
+     * @param horizon_stores Projected observed-store count of the whole
+     *        run; must be >= 4 (pickCrashPoints' floor).
+     */
+    CrashSchedule(uint32_t points, uint64_t horizon_stores, Prng &rng);
+
+    /**
+     * Next scheduled point strictly after @p observed stores, or 0
+     * when the schedule is exhausted. Consumes the returned point and
+     * discards any points already at or behind @p observed.
+     */
+    uint64_t nextAfter(uint64_t observed);
+
+    /** Points not yet consumed. */
+    size_t remaining() const { return points_.size(); }
+
+  private:
+    std::set<uint64_t> points_;
+};
+
 /** Per-block crash classification against a golden run. */
 struct BlockClassification {
     uint64_t corrupt_blocks = 0; //!< ground truth: output != golden

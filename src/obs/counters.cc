@@ -1,6 +1,8 @@
 #include "counters.h"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -239,6 +241,37 @@ subsystem(Hist h)
     return kHistMeta[static_cast<size_t>(h)].subsystem;
 }
 
+double
+HistSnapshot::percentile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    rank = std::min(std::max<uint64_t>(rank, 1), count);
+    uint64_t cum = 0;
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+        if (cum + buckets[b] < rank) {
+            cum += buckets[b];
+            continue;
+        }
+        // Bucket b holds [2^(b-1), 2^b); bucket 0 holds exact zeros.
+        double v = 0.0;
+        if (b > 0) {
+            double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+            double hi = std::ldexp(1.0, static_cast<int>(b));
+            double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(buckets[b]);
+            v = lo + (hi - lo) * frac;
+        }
+        v = std::max(v, static_cast<double>(min));
+        v = std::min(v, static_cast<double>(max));
+        return v;
+    }
+    return static_cast<double>(max);
+}
+
 void
 setCountersEnabled(bool enabled)
 {
@@ -297,10 +330,13 @@ countersJson(const CountersSnapshot &snap, const std::string &indent)
             appendU64(out, hs.min);
             out += ", \"max\": ";
             appendU64(out, hs.max);
-            char mean_buf[40];
-            std::snprintf(mean_buf, sizeof(mean_buf), ", \"mean\": %.3f",
-                          hs.mean());
-            out += mean_buf;
+            char stat_buf[128];
+            std::snprintf(stat_buf, sizeof(stat_buf),
+                          ", \"mean\": %.3f, \"p50\": %.1f, "
+                          "\"p99\": %.1f, \"p999\": %.1f",
+                          hs.mean(), hs.percentile(0.50),
+                          hs.percentile(0.99), hs.percentile(0.999));
+            out += stat_buf;
             // Buckets as {"2^k": n} for the non-empty powers of two.
             out += ", \"buckets\": {";
             bool first_b = true;

@@ -118,7 +118,21 @@ namespace gpulp::obs {
     X(AnalysisBacktracks,  "analysis.backtracks_enqueued", "prefixes",        \
       "analysis")                                                             \
     X(AnalysisViolations,  "analysis.invariant_violations", "violations",     \
-      "analysis")
+      "analysis")                                                             \
+    /* service: live KV serving harness (src/service) */                      \
+    X(ServiceRequestsEnqueued, "service.requests_enqueued", "requests",       \
+      "service")                                                              \
+    X(ServiceRequestsAcked, "service.requests_acked", "requests", "service")  \
+    X(ServiceBatchesServed, "service.batches_served", "batches", "service")   \
+    X(ServiceInsertDrops,  "service.insert_drops",    "requests", "service")  \
+    X(ServiceInsertsCoalesced, "service.inserts_coalesced", "requests",       \
+      "service")                                                              \
+    X(ServiceSearchMisses, "service.search_misses",   "requests", "service")  \
+    X(ServiceCrashesInjected, "service.crashes_injected", "crashes",          \
+      "service")                                                              \
+    X(ServiceBatchesReplayed, "service.batches_replayed", "batches",          \
+      "service")                                                              \
+    X(ServiceRequestsLost, "service.requests_lost",   "requests", "service")
 
 /** Histogram catalog: symbol, dotted name, unit of samples, subsystem. */
 #define GPULP_HISTOGRAM_LIST(X)                                               \
@@ -127,7 +141,13 @@ namespace gpulp::obs {
     X(StoreLoadFactorPct,  "store.load_factor_pct",  "percent", "store")      \
     X(SimBlockCycles,      "sim.block_cycles",       "cycles/block", "sim")   \
     X(RecoveryRoundFlagged, "recovery.round_flagged", "blocks/round",         \
-      "recovery")
+      "recovery")                                                             \
+    X(ServiceRequestLatency, "service.request_latency", "cycles/request",     \
+      "service")                                                              \
+    X(ServiceBatchCycles,  "service.batch_cycles",   "cycles/batch",          \
+      "service")                                                              \
+    X(ServiceAvailabilityGap, "service.availability_gap", "cycles/crash",     \
+      "service")
 // clang-format on
 
 /** Every counter in the catalog. */
@@ -245,6 +265,17 @@ struct HistSnapshot {
                           : static_cast<double>(sum) /
                                 static_cast<double>(count);
     }
+
+    /**
+     * The @p q-quantile (q in [0, 1]) extracted from the power-of-two
+     * buckets: the bucket holding the rank-ceil(q*count) sample is
+     * located exactly and the position within it linearly interpolated
+     * over the bucket's value range, then clamped to [min, max]. A
+     * single-valued histogram therefore reports exact percentiles, and
+     * any estimate is off by at most the width of its bucket. Returns
+     * 0 on an empty histogram.
+     */
+    double percentile(double q) const;
 };
 
 /** Merged totals across every shard ever leased. */

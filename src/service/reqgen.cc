@@ -1,0 +1,97 @@
+#include "reqgen.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/checksum_store.h" // mixHash
+
+namespace gpulp::service {
+
+namespace {
+
+/** Generalized harmonic number H_{n,theta}. O(n), computed once. */
+double
+zeta(uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+} // namespace
+
+ScrambledZipf::ScrambledZipf(uint32_t keyspace, double theta,
+                             uint64_t seed)
+    : n_(keyspace), theta_(theta), rng_(seed)
+{
+    GPULP_ASSERT(n_ >= 2, "key space must have at least 2 keys");
+    GPULP_ASSERT(theta_ >= 0.0 && theta_ < 1.0,
+                 "zipf theta must be in [0, 1), got %f", theta_);
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+    half_pow_theta_ = std::pow(0.5, theta_);
+}
+
+uint32_t
+ScrambledZipf::nextRank()
+{
+    // Gray et al., "Quickly generating billion-record synthetic
+    // databases" — the sampler YCSB uses.
+    const double u = rng_.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + half_pow_theta_)
+        return 1;
+    auto rank = static_cast<uint32_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+}
+
+uint32_t
+ScrambledZipf::scramble(uint32_t rank)
+{
+    // mixHash is a bijection-quality mixer but not a permutation of
+    // [0, 2^32); a rare collision merely merges two ranks into one
+    // hotter key, which the serving audit is indifferent to. Keys must
+    // be nonzero (0 is MEGA-KV's empty-slot sentinel).
+    uint32_t key = mixHash(rank + 1, 0x5ca1edu);
+    return key == 0 ? 0x9e3779b9u : key;
+}
+
+RequestGenerator::RequestGenerator(uint32_t keyspace, double theta,
+                                   const OpMix &mix, uint64_t seed)
+    : zipf_(keyspace, theta, seed), rng_(seed ^ 0x6d69785f6d697868ull),
+      mix_(mix)
+{
+    GPULP_ASSERT(mix_.insert_pct + mix_.search_pct + mix_.erase_pct ==
+                     100,
+                 "op mix must sum to 100, got %u/%u/%u",
+                 mix_.insert_pct, mix_.search_pct, mix_.erase_pct);
+}
+
+Request
+RequestGenerator::next()
+{
+    Request r;
+    const auto draw = static_cast<uint32_t>(rng_.nextBelow(100));
+    if (draw < mix_.insert_pct) {
+        r.type = OpType::Insert;
+        r.value = next_value_++;
+        if (next_value_ == 0) // values are nonzero by convention
+            next_value_ = 1;
+    } else if (draw < mix_.insert_pct + mix_.search_pct) {
+        r.type = OpType::Search;
+    } else {
+        r.type = OpType::Erase;
+    }
+    r.key = zipf_.next();
+    return r;
+}
+
+} // namespace gpulp::service

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic request generation for the live KV serving harness.
+ *
+ * Keys follow a scrambled-Zipf distribution, the standard model of a
+ * skewed caching workload (and the YCSB default): ranks are drawn
+ * Zipf(theta) with the Gray et al. closed-form sampler, then scrambled
+ * through a multiplicative hash so the popular keys are spread across
+ * the key space instead of clustering in one stretch of buckets —
+ * skew in *popularity* without skew in *placement*. Skewed access is
+ * exactly where GPU hash tables degrade at high load factor
+ * (WarpSpeed, PAPERS.md), so this is the distribution the serving
+ * harness must survive, not uniform keys.
+ *
+ * All randomness flows through the caller-seeded Prng: the request
+ * stream for a (keyspace, theta, mix, seed) tuple is bit-identical
+ * run-to-run, which the crash-replay audit depends on.
+ */
+
+#ifndef GPULP_SERVICE_REQGEN_H
+#define GPULP_SERVICE_REQGEN_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/prng.h"
+
+namespace gpulp::service {
+
+/** Request kinds the server batches by type. */
+enum class OpType : uint8_t { Insert = 0, Search = 1, Erase = 2 };
+inline constexpr size_t kNumOpTypes = 3;
+
+/** One client request (arrival stamping is the server's job). */
+struct Request {
+    OpType type = OpType::Search;
+    uint32_t key = 0;
+    uint32_t value = 0; //!< inserts only
+};
+
+/**
+ * Scrambled-Zipf key sampler over a key space of @p keyspace distinct
+ * keys. theta in [0, 1): 0 is uniform, 0.99 is the YCSB default skew.
+ */
+class ScrambledZipf
+{
+  public:
+    ScrambledZipf(uint32_t keyspace, double theta, uint64_t seed);
+
+    /** Next Zipf rank in [0, keyspace); rank 0 is the hottest. */
+    uint32_t nextRank();
+
+    /** Next key: the scrambled rank, never 0 (MEGA-KV's empty slot). */
+    uint32_t next() { return scramble(nextRank()); }
+
+    /** The hash a rank serves under (exposed for tests). */
+    static uint32_t scramble(uint32_t rank);
+
+    uint32_t keyspace() const { return n_; }
+
+  private:
+    uint32_t n_;
+    double theta_;
+    double alpha_ = 0.0;
+    double zetan_ = 0.0;
+    double eta_ = 0.0;
+    double half_pow_theta_ = 0.0;
+    Prng rng_;
+};
+
+/** Insert/search/erase shares in percent; must sum to 100. */
+struct OpMix {
+    uint32_t insert_pct = 50;
+    uint32_t search_pct = 40;
+    uint32_t erase_pct = 10;
+};
+
+/**
+ * The full client model: op type drawn from @p mix, key from the
+ * scrambled-Zipf sampler, insert values from a distinct nonzero
+ * sequence so the audit can tell two inserts of the same key apart.
+ */
+class RequestGenerator
+{
+  public:
+    RequestGenerator(uint32_t keyspace, double theta, const OpMix &mix,
+                     uint64_t seed);
+
+    Request next();
+
+  private:
+    ScrambledZipf zipf_;
+    Prng rng_;
+    OpMix mix_;
+    uint32_t next_value_ = 1;
+};
+
+} // namespace gpulp::service
+
+#endif // GPULP_SERVICE_REQGEN_H

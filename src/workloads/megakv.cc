@@ -17,6 +17,7 @@ MegaKv::MegaKv(Device &dev, uint32_t buckets, uint32_t batch_ops)
     op_keys_ = ArrayRef<uint32_t>::allocate(dev.mem(), batch_ops_);
     op_values_ = ArrayRef<uint32_t>::allocate(dev.mem(), batch_ops_);
     results_ = ArrayRef<uint32_t>::allocate(dev.mem(), batch_ops_);
+    statuses_ = ArrayRef<uint32_t>::allocate(dev.mem(), batch_ops_);
     // The insert kernel pre-checks a bucket slot with a plain load
     // before claiming it with atomicCAS, and values travel with plain
     // stores; erase clears slots plainly. Which block wins a contended
@@ -74,25 +75,40 @@ MegaKv::insertKernel(ThreadCtx &t, const LpContext *lp)
     uint32_t bucket = bucketOf(key);
     t.compute(kChargeInsert);
 
+    uint32_t status = kKvMiss; // all kWays slots taken: a dropped insert
+    // Pass 1: scan the WHOLE bucket for the key before touching any
+    // empty slot. Claiming the first empty way would double-store a
+    // key that sits in a later way behind an erase-freed slot; the
+    // duplicate shadows updates and survives a single erase.
     for (uint32_t way = 0; way < kWays; ++way) {
         uint64_t slot = uint64_t{bucket} * kWays + way;
-        uint32_t cur = t.load(keys_, slot);
-        if (cur == key) {
+        if (t.load(keys_, slot) == key) {
             t.store(values_, slot, value); // update in place
+            status = kKvUpdated;
             break;
         }
-        if (cur == 0) {
-            uint32_t old = t.atomicCAS(keys_.addrOf(slot), 0, key);
-            if (old == 0 || old == key) {
-                t.store(values_, slot, value);
-                break;
-            }
-            // Slot raced away; keep scanning this bucket.
-        }
     }
+    // Pass 2: the key is absent — claim the first empty slot.
+    for (uint32_t way = 0; status == kKvMiss && way < kWays; ++way) {
+        uint64_t slot = uint64_t{bucket} * kWays + way;
+        if (t.load(keys_, slot) != 0)
+            continue;
+        uint32_t old = t.atomicCAS(keys_.addrOf(slot), 0, key);
+        if (old == 0 || old == key) {
+            t.store(values_, slot, value);
+            status = old == 0 ? kKvHit : kKvUpdated;
+        }
+        // Otherwise the slot raced away; keep scanning this bucket.
+    }
+    t.store(statuses_, op, status);
     if (lp) {
+        // Fold the post-state actually left in the table: a dropped
+        // insert leaves the key absent, and validation will recompute
+        // 0 for it — an application-level miss, not a checksum
+        // mismatch. Folding the operand value here would turn every
+        // full bucket into a false persistency failure.
         acc.protectU32(t, key);
-        acc.protectU32(t, value);
+        acc.protectU32(t, status == kKvMiss ? 0u : value);
         lpCommitRegion(t, *lp, acc);
     }
 }
@@ -107,17 +123,23 @@ MegaKv::searchKernel(ThreadCtx &t, const LpContext *lp)
     uint32_t bucket = bucketOf(key);
     t.compute(kChargeSearch);
 
-    uint32_t found = 0;
+    uint32_t value = 0;
+    uint32_t status = kKvMiss;
     for (uint32_t way = 0; way < kWays; ++way) {
         uint64_t slot = uint64_t{bucket} * kWays + way;
         if (t.load(keys_, slot) == key) {
-            found = t.load(values_, slot);
+            value = t.load(values_, slot);
+            status = kKvHit;
             break;
         }
     }
-    t.store(results_, op, found);
+    t.store(results_, op, value);
+    // An explicit presence bit: a stored value of 0 (status kKvHit,
+    // result 0) is not the same answer as "key absent" (status kKvMiss).
+    t.store(statuses_, op, status);
     if (lp) {
-        acc.protectU32(t, found);
+        acc.protectU32(t, status);
+        acc.protectU32(t, value);
         lpCommitRegion(t, *lp, acc);
     }
 }
@@ -132,16 +154,23 @@ MegaKv::eraseKernel(ThreadCtx &t, const LpContext *lp)
     uint32_t bucket = bucketOf(key);
     t.compute(kChargeErase);
 
+    uint32_t status = kKvMiss;
     for (uint32_t way = 0; way < kWays; ++way) {
         uint64_t slot = uint64_t{bucket} * kWays + way;
         if (t.load(keys_, slot) == key) {
             t.store(keys_, slot, 0u);
             t.store(values_, slot, 0u);
+            status = kKvHit;
             break;
         }
     }
+    t.store(statuses_, op, status);
     if (lp) {
-        // Fold the key and its post-erase presence (0 == absent).
+        // Fold the key and its post-erase presence. Unlike insert's
+        // drop path this is 0 on *both* outcomes — erased or never
+        // there, the key is absent afterwards — which is exactly what
+        // validateErases recomputes, so the unconditional fold is
+        // honest here.
         acc.protectU32(t, key);
         acc.protectU32(t, 0u);
         lpCommitRegion(t, *lp, acc);
@@ -207,6 +236,18 @@ MegaKv::hostLookup(uint32_t key, uint32_t *value) const
         }
     }
     return false;
+}
+
+std::unordered_map<uint32_t, uint32_t>
+MegaKv::hostSnapshot() const
+{
+    std::unordered_map<uint32_t, uint32_t> live;
+    for (uint64_t slot = 0; slot < uint64_t{buckets_} * kWays; ++slot) {
+        uint32_t key = keys_.hostAt(slot);
+        if (key != 0)
+            live.emplace(key, values_.hostAt(slot));
+    }
+    return live;
 }
 
 uint64_t

@@ -9,14 +9,22 @@
  *
  *  - insert: claim a slot in the key's bucket with atomicCAS, store the
  *    value. Idempotent, so an LP region (= thread block) can simply be
- *    re-executed on recovery.
- *  - search: probe the bucket, write the found value (or 0) to the
- *    result array — the persistent output LP protects.
- *  - erase: locate the key and clear the slot. Also idempotent.
+ *    re-executed on recovery. A bucket whose kWays slots are all taken
+ *    *drops* the insert — that is an application-level miss the status
+ *    array reports, not a persistency failure.
+ *  - search: probe the bucket, write the found value to the result
+ *    array and an explicit presence bit to the status array (a stored
+ *    value of 0 is distinguishable from "key absent").
+ *  - erase: locate the key and clear the slot. Also idempotent; the
+ *    status array reports whether the key was present.
  *
- * With LP enabled, each block folds the key/value pairs it made durable
- * into the region checksum and commits at the end; validation kernels
- * recompute the same folds from the table state found in memory.
+ * With LP enabled, each block folds the *post-state* it left in the
+ * table into the region checksum and commits at the end; validation
+ * kernels recompute the same folds from the table state found in
+ * memory. Folding post-state (rather than the operands) is what keeps
+ * a full-bucket drop from masquerading as a persistency failure:
+ * validation finds the key absent, recomputes 0, and matches the 0 the
+ * dropped insert folded.
  *
  * kCharge* constants stand in for the full MEGA-KV per-op cost
  * (protocol parsing, variable-size value copies) that our scaled table
@@ -34,6 +42,19 @@
 #include "sim/device.h"
 
 namespace gpulp {
+
+/**
+ * Per-operation outcome, written to the status array by every batch
+ * kernel (one entry per op, indexed by global thread id).
+ */
+enum MegaKvStatus : uint32_t {
+    /** insert: dropped, all kWays slots taken; search/erase: absent. */
+    kKvMiss = 0,
+    /** insert: stored in a fresh slot; search: found; erase: removed. */
+    kKvHit = 1,
+    /** insert only: key already present, value updated in place. */
+    kKvUpdated = 2,
+};
 
 /** Batched GPU key-value store with LP-protected mutation kernels. */
 class MegaKv
@@ -88,8 +109,18 @@ class MegaKv
     /** Host-side lookup (verification). */
     bool hostLookup(uint32_t key, uint32_t *value) const;
 
+    /**
+     * Host-side dump of every live (key, value) pair — the audit
+     * surface the serving harness diffs against its acknowledged
+     * reference state after crash recovery.
+     */
+    std::unordered_map<uint32_t, uint32_t> hostSnapshot() const;
+
     /** Host-side read of a search batch's result slot. */
     uint32_t resultAt(uint32_t op) const { return results_.hostAt(op); }
+
+    /** Host-side read of an op's outcome (MegaKvStatus). */
+    uint32_t statusAt(uint32_t op) const { return statuses_.hostAt(op); }
 
     /** Total persistent bytes of the table. */
     uint64_t tableBytes() const;
@@ -105,7 +136,8 @@ class MegaKv
     ArrayRef<uint32_t> values_;  //!< buckets x kWays value slots
     ArrayRef<uint32_t> op_keys_;
     ArrayRef<uint32_t> op_values_;
-    ArrayRef<uint32_t> results_;
+    ArrayRef<uint32_t> results_;  //!< search: found value (0 on miss)
+    ArrayRef<uint32_t> statuses_; //!< per-op MegaKvStatus outcome
 };
 
 } // namespace gpulp

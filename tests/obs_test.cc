@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/prng.h"
 #include "harness/faultcampaign.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
@@ -313,7 +314,7 @@ TEST_F(ObsTest, CatalogIsWellFormed)
     std::set<std::string> seen;
     const std::set<std::string> subsystems = {"nvm", "store", "sim",
                                              "core", "recovery",
-                                             "analysis"};
+                                             "analysis", "service"};
     for (size_t c = 0; c < kNumCounters; ++c) {
         Ctr ctr = static_cast<Ctr>(c);
         std::string n = name(ctr);
@@ -444,6 +445,83 @@ TEST_F(ObsTest, FaultCampaignJsonEmbedsCounters)
     EXPECT_TRUE(parseJson(json)) << json;
     EXPECT_NE(json.find("\"counters\""), std::string::npos);
     EXPECT_NE(json.find("\"store.array.inserts\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Percentile extraction (power-of-two buckets + clamping)
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, PercentileOfEmptyHistogramIsZero)
+{
+    HistSnapshot h;
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+    EXPECT_EQ(h.percentile(0.999), 0.0);
+}
+
+TEST_F(ObsTest, PercentileIsExactForSingleValuedHistograms)
+{
+    // Every observation identical: min == max clamps the interpolation
+    // to the exact value regardless of q.
+    for (int i = 0; i < 100; ++i)
+        observe(Hist::ServiceRequestLatency, 42);
+    HistSnapshot h = snapshotCounters()[Hist::ServiceRequestLatency];
+    EXPECT_EQ(h.count, 100u);
+    for (double q : {0.0, 0.5, 0.99, 0.999, 1.0})
+        EXPECT_EQ(h.percentile(q), 42.0) << q;
+}
+
+TEST_F(ObsTest, PercentileIsExactForAllZeroHistograms)
+{
+    for (int i = 0; i < 10; ++i)
+        observe(Hist::ServiceRequestLatency, 0);
+    HistSnapshot h = snapshotCounters()[Hist::ServiceRequestLatency];
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+    EXPECT_EQ(h.percentile(0.999), 0.0);
+}
+
+TEST_F(ObsTest, PercentilePicksTheRightBucketAndClampsToMax)
+{
+    // 90 zeros and 10 observations of 1000: p50 sits in the zero
+    // bucket exactly; p99 (rank 99) lands in 1000's bucket [512, 1024)
+    // and interpolates to 512 + 512 * 9/10, clamped to max below 1024.
+    for (int i = 0; i < 90; ++i)
+        observe(Hist::ServiceRequestLatency, 0);
+    for (int i = 0; i < 10; ++i)
+        observe(Hist::ServiceRequestLatency, 1000);
+    HistSnapshot h = snapshotCounters()[Hist::ServiceRequestLatency];
+    EXPECT_EQ(h.percentile(0.50), 0.0);
+    EXPECT_NEAR(h.percentile(0.99), 972.8, 0.01);
+    EXPECT_EQ(h.percentile(1.0), 1000.0); // clamped to observed max
+    // The error of any percentile is bounded by the bucket width.
+    EXPECT_GE(h.percentile(0.95), 512.0);
+    EXPECT_LE(h.percentile(0.95), 1000.0);
+}
+
+TEST_F(ObsTest, PercentilesAreMonotoneInQ)
+{
+    Prng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        observe(Hist::ServiceRequestLatency, rng.nextBelow(100000));
+    HistSnapshot h = snapshotCounters()[Hist::ServiceRequestLatency];
+    double prev = 0.0;
+    for (double q : {0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        double v = h.percentile(q);
+        EXPECT_GE(v, prev) << q;
+        prev = v;
+    }
+    EXPECT_GE(prev, static_cast<double>(h.min));
+    EXPECT_LE(prev, static_cast<double>(h.max));
+}
+
+TEST_F(ObsTest, HistogramJsonCarriesPercentiles)
+{
+    for (int i = 0; i < 100; ++i)
+        observe(Hist::ServiceRequestLatency, 64);
+    std::string json = countersJson(snapshotCounters(), "");
+    EXPECT_TRUE(parseJson(json)) << json;
+    EXPECT_NE(json.find("\"p50\": 64.0"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p99\": 64.0"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p999\": 64.0"), std::string::npos) << json;
 }
 
 } // namespace

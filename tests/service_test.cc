@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Live-serving harness tests: scrambled-Zipf generator determinism and
+ * skew, request-mix proportions, crash-free serving audit, mid-batch
+ * crash recovery with zero acked-but-lost, and run-to-run determinism.
+ */
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/reqgen.h"
+#include "service/server.h"
+
+namespace gpulp::service {
+namespace {
+
+TEST(ScrambledZipfTest, SameSeedSameStream)
+{
+    ScrambledZipf a(4096, 0.99, 42);
+    ScrambledZipf b(4096, 0.99, 42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next()) << i;
+}
+
+TEST(ScrambledZipfTest, DifferentSeedsDiverge)
+{
+    ScrambledZipf a(4096, 0.99, 1);
+    ScrambledZipf b(4096, 0.99, 2);
+    uint32_t same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 100u);
+}
+
+TEST(ScrambledZipfTest, KeysAreNonzero)
+{
+    ScrambledZipf z(1 << 16, 0.99, 7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_NE(z.next(), 0u) << i;
+}
+
+TEST(ScrambledZipfTest, ThetaControlsSkew)
+{
+    // Under YCSB skew (theta 0.99) rank 0 draws a large share; under
+    // theta 0 the distribution is uniform and no rank stands out.
+    constexpr int kDraws = 20000;
+    ScrambledZipf skewed(4096, 0.99, 3);
+    ScrambledZipf uniform(4096, 0.0, 3);
+    int skewed_rank0 = 0, uniform_rank0 = 0;
+    for (int i = 0; i < kDraws; ++i) {
+        skewed_rank0 += skewed.nextRank() == 0;
+        uniform_rank0 += uniform.nextRank() == 0;
+    }
+    // Zipf(0.99, 4096): rank 0 has ~11% mass; uniform gives 1/4096.
+    EXPECT_GT(skewed_rank0, kDraws / 20);
+    EXPECT_LT(uniform_rank0, kDraws / 200);
+}
+
+TEST(ScrambledZipfTest, ScrambleSpreadsHotRanks)
+{
+    // Adjacent hot ranks must not map to adjacent keys.
+    uint32_t k0 = ScrambledZipf::scramble(0);
+    uint32_t k1 = ScrambledZipf::scramble(1);
+    uint32_t k2 = ScrambledZipf::scramble(2);
+    EXPECT_NE(k0, k1);
+    EXPECT_NE(k1, k2);
+    EXPECT_GT(std::max(k0, k1) - std::min(k0, k1), 1u);
+}
+
+TEST(RequestGeneratorTest, MixProportionsAreRespected)
+{
+    OpMix mix; // 50/40/10
+    RequestGenerator gen(1 << 16, 0.99, mix, 11);
+    std::map<OpType, int> counts;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[gen.next().type];
+    EXPECT_NEAR(counts[OpType::Insert], kDraws * 0.50, kDraws * 0.03);
+    EXPECT_NEAR(counts[OpType::Search], kDraws * 0.40, kDraws * 0.03);
+    EXPECT_NEAR(counts[OpType::Erase], kDraws * 0.10, kDraws * 0.03);
+}
+
+TEST(RequestGeneratorTest, DeterministicPerSeed)
+{
+    OpMix mix;
+    RequestGenerator a(4096, 0.5, mix, 99);
+    RequestGenerator b(4096, 0.5, mix, 99);
+    for (int i = 0; i < 2000; ++i) {
+        Request ra = a.next(), rb = b.next();
+        ASSERT_EQ(ra.type, rb.type) << i;
+        ASSERT_EQ(ra.key, rb.key) << i;
+        ASSERT_EQ(ra.value, rb.value) << i;
+    }
+}
+
+KvServerOptions
+smallOpts(uint64_t seed = 1)
+{
+    KvServerOptions opts;
+    opts.buckets = 512;
+    opts.batch_ops = 256;
+    opts.keyspace = 2048;
+    opts.checkpoint_batches = 4;
+    opts.seed = seed;
+    return opts;
+}
+
+TEST(KvServerTest, CrashFreeServePassesAudit)
+{
+    KvServer server(smallOpts());
+    ServeReport report = server.serve(4000);
+
+    EXPECT_TRUE(report.audit_ok);
+    EXPECT_EQ(report.acked_lost, 0u);
+    EXPECT_EQ(report.phantom_keys, 0u);
+    EXPECT_GE(report.requests_acked, 4000u);
+    EXPECT_TRUE(report.crashes.empty());
+    // Back-to-back scheduling keeps the device saturated.
+    EXPECT_EQ(report.device_busy_cycles, report.total_cycles);
+    // Every acknowledged request got a latency sample.
+    EXPECT_EQ(report.latency.count, report.requests_acked);
+    // Percentiles are monotone and bounded by the observed extremes.
+    double p50 = report.latency.percentile(0.50);
+    double p99 = report.latency.percentile(0.99);
+    double p999 = report.latency.percentile(0.999);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p99);
+    EXPECT_LE(p99, p999);
+    EXPECT_LE(p999, static_cast<double>(report.latency.max));
+}
+
+TEST(KvServerTest, MidBatchCrashesRecoverWithZeroAckedLost)
+{
+    KvServer server(smallOpts(7));
+    ServeReport report = server.serve(4000, /*crash_points=*/3);
+
+    EXPECT_FALSE(report.crashes.empty());
+    for (const CrashEvent &c : report.crashes) {
+        EXPECT_TRUE(c.converged);
+        EXPECT_GT(c.availability_gap, 0u);
+        EXPECT_GT(c.batches_replayed, 0u);
+    }
+    EXPECT_TRUE(report.audit_ok);
+    EXPECT_EQ(report.acked_lost, 0u)
+        << "acknowledged effects lost across crash recovery";
+}
+
+TEST(KvServerTest, ServeIsDeterministicPerSeed)
+{
+    KvServer a(smallOpts(13));
+    KvServer b(smallOpts(13));
+    ServeReport ra = a.serve(2000, 2);
+    ServeReport rb = b.serve(2000, 2);
+
+    EXPECT_EQ(ra.requests_enqueued, rb.requests_enqueued);
+    EXPECT_EQ(ra.requests_acked, rb.requests_acked);
+    EXPECT_EQ(ra.batches_served, rb.batches_served);
+    EXPECT_EQ(ra.insert_drops, rb.insert_drops);
+    EXPECT_EQ(ra.total_cycles, rb.total_cycles);
+    ASSERT_EQ(ra.crashes.size(), rb.crashes.size());
+    for (size_t i = 0; i < ra.crashes.size(); ++i) {
+        EXPECT_EQ(ra.crashes[i].store_point, rb.crashes[i].store_point);
+        EXPECT_EQ(ra.crashes[i].at_cycle, rb.crashes[i].at_cycle);
+    }
+    EXPECT_EQ(ra.latency.count, rb.latency.count);
+    EXPECT_EQ(ra.latency.sum, rb.latency.sum);
+}
+
+TEST(KvServerTest, InsertCoalescingAcksEveryArrival)
+{
+    // A tiny keyspace under heavy skew makes duplicate inserts within
+    // one staging window near-certain; coalescing must still ack every
+    // arrival, so acked >= requested even though batches shrink.
+    KvServerOptions opts = smallOpts(5);
+    opts.keyspace = 512; // hot keys repeat within a window
+    KvServer server(opts);
+    ServeReport report = server.serve(3000);
+
+    EXPECT_GT(report.inserts_coalesced, 0u);
+    EXPECT_TRUE(report.audit_ok);
+    EXPECT_EQ(report.latency.count, report.requests_acked);
+}
+
+} // namespace
+} // namespace gpulp::service

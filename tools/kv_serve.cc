@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Live-serving MEGA-KV driver: the fault campaign, run against a
+ * store that is *serving* when the crash hits.
+ *
+ * Generates a continuous scrambled-Zipf request stream, keeps the
+ * simulated device saturated with back-to-back batches, arms
+ * mid-batch crash-at-store latches while requests are in flight,
+ * recovers through LP checksums and reports what clients actually
+ * experienced: p50/p99/p999 request latency, the availability gap of
+ * every crash, and the acknowledged-but-lost count — which must be
+ * zero for the run to exit 0, so CI can gate on it.
+ *
+ * Usage:
+ *   kv_serve [--ops N] [--zipf THETA] [--mix I/S/E] [--crash-points N]
+ *            [--seed N] [--batch N] [--buckets N] [--keyspace N]
+ *            [--checkpoint N] [--workers N] [--json PATH] [--quiet]
+ *
+ * Counters are collected by default (GPULP_COUNTERS=0 vetoes) and
+ * embedded in the --json report under "counters".
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/counters.h"
+#include "service/server.h"
+
+using namespace gpulp;
+using namespace gpulp::service;
+
+namespace {
+
+uint64_t
+parseU64(const char *text, const char *what)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        GPULP_FATAL("%s must be a non-negative integer, got '%s'", what,
+                    text);
+    return v;
+}
+
+double
+parseTheta(const char *text)
+{
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || v < 0.0 || v >= 1.0)
+        GPULP_FATAL("--zipf must be in [0, 1), got '%s'", text);
+    return v;
+}
+
+OpMix
+parseMix(const char *text)
+{
+    OpMix mix;
+    unsigned insert = 0, search = 0, erase = 0;
+    if (std::sscanf(text, "%u/%u/%u", &insert, &search, &erase) != 3 ||
+        insert + search + erase != 100)
+        GPULP_FATAL("--mix must be I/S/E percentages summing to 100, "
+                    "got '%s'", text);
+    mix.insert_pct = insert;
+    mix.search_pct = search;
+    mix.erase_pct = erase;
+    return mix;
+}
+
+void
+writeReportJson(const ServeReport &report, const KvServerOptions &opts,
+                uint64_t ops, uint32_t crash_points, std::FILE *out)
+{
+    std::fprintf(out, "{\n  \"config\": {");
+    std::fprintf(out,
+                 "\"ops\": %" PRIu64 ", \"zipf_theta\": %.3f, "
+                 "\"mix\": \"%u/%u/%u\", \"crash_points\": %u, "
+                 "\"seed\": %" PRIu64 ", \"batch_ops\": %u, "
+                 "\"buckets\": %u, \"keyspace\": %u, "
+                 "\"checkpoint_batches\": %u",
+                 ops, opts.zipf_theta, opts.mix.insert_pct,
+                 opts.mix.search_pct, opts.mix.erase_pct, crash_points,
+                 opts.seed, opts.batch_ops, opts.buckets, opts.keyspace,
+                 opts.checkpoint_batches);
+    std::fprintf(out, "},\n");
+    std::fprintf(out,
+                 "  \"requests_enqueued\": %" PRIu64 ",\n"
+                 "  \"requests_acked\": %" PRIu64 ",\n"
+                 "  \"inserts_coalesced\": %" PRIu64 ",\n"
+                 "  \"batches_served\": %" PRIu64 ",\n"
+                 "  \"insert_drops\": %" PRIu64 ",\n"
+                 "  \"search_misses\": %" PRIu64 ",\n"
+                 "  \"checkpoints\": %" PRIu64 ",\n"
+                 "  \"total_cycles\": %" PRIu64 ",\n"
+                 "  \"device_busy_cycles\": %" PRIu64 ",\n",
+                 report.requests_enqueued, report.requests_acked,
+                 report.inserts_coalesced, report.batches_served,
+                 report.insert_drops, report.search_misses,
+                 report.checkpoints,
+                 static_cast<uint64_t>(report.total_cycles),
+                 static_cast<uint64_t>(report.device_busy_cycles));
+    std::fprintf(out,
+                 "  \"latency\": {\"count\": %" PRIu64
+                 ", \"mean\": %.1f, \"p50\": %.1f, \"p99\": %.1f, "
+                 "\"p999\": %.1f, \"max\": %" PRIu64 "},\n",
+                 report.latency.count, report.latency.mean(),
+                 report.latency.percentile(0.50),
+                 report.latency.percentile(0.99),
+                 report.latency.percentile(0.999), report.latency.max);
+    std::fprintf(out, "  \"crashes\": [");
+    for (size_t i = 0; i < report.crashes.size(); ++i) {
+        const CrashEvent &ev = report.crashes[i];
+        std::fprintf(out,
+                     "%s\n    {\"store_point\": %" PRIu64
+                     ", \"at_cycle\": %" PRIu64 ", \"torn_lines\": %" PRIu64
+                     ", \"batches_replayed\": %" PRIu64
+                     ", \"blocks_recovered\": %" PRIu64
+                     ", \"recovery_rounds\": %" PRIu64
+                     ", \"recovery_cycles\": %" PRIu64
+                     ", \"availability_gap\": %" PRIu64
+                     ", \"requests_recovered\": %" PRIu64
+                     ", \"converged\": %s}",
+                     i == 0 ? "" : ",", ev.store_point, ev.at_cycle,
+                     ev.torn_lines, ev.batches_replayed,
+                     ev.blocks_recovered, ev.recovery_rounds,
+                     static_cast<uint64_t>(ev.recovery_cycles),
+                     static_cast<uint64_t>(ev.availability_gap),
+                     ev.requests_recovered,
+                     ev.converged ? "true" : "false");
+    }
+    std::fprintf(out, "%s],\n",
+                 report.crashes.empty() ? "" : "\n  ");
+    std::fprintf(out,
+                 "  \"acked_lost\": %" PRIu64 ",\n"
+                 "  \"phantom_keys\": %" PRIu64 ",\n"
+                 "  \"drops_resurrected\": %" PRIu64 ",\n"
+                 "  \"audit_ok\": %s,\n  ",
+                 report.acked_lost, report.phantom_keys,
+                 report.drops_resurrected,
+                 report.audit_ok ? "true" : "false");
+    obs::writeCountersJson(obs::snapshotCounters(), out, "  ");
+    std::fprintf(out, "\n}\n");
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--ops N] [--zipf THETA] [--mix I/S/E]\n"
+        "          [--crash-points N] [--seed N] [--batch N]\n"
+        "          [--buckets N] [--keyspace N] [--checkpoint N]\n"
+        "          [--workers N] [--json PATH] [--quiet]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    KvServerOptions opts;
+    uint64_t ops = 50000;
+    uint32_t crash_points = 0;
+    const char *json_path = nullptr;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                GPULP_FATAL("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--ops") == 0) {
+            ops = parseU64(value("--ops"), "--ops");
+        } else if (std::strcmp(argv[i], "--zipf") == 0) {
+            opts.zipf_theta = parseTheta(value("--zipf"));
+        } else if (std::strcmp(argv[i], "--mix") == 0) {
+            opts.mix = parseMix(value("--mix"));
+        } else if (std::strcmp(argv[i], "--crash-points") == 0) {
+            crash_points = static_cast<uint32_t>(
+                parseU64(value("--crash-points"), "--crash-points"));
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            opts.seed = parseU64(value("--seed"), "--seed");
+        } else if (std::strcmp(argv[i], "--batch") == 0) {
+            opts.batch_ops = static_cast<uint32_t>(
+                parseU64(value("--batch"), "--batch"));
+        } else if (std::strcmp(argv[i], "--buckets") == 0) {
+            opts.buckets = static_cast<uint32_t>(
+                parseU64(value("--buckets"), "--buckets"));
+        } else if (std::strcmp(argv[i], "--keyspace") == 0) {
+            opts.keyspace = static_cast<uint32_t>(
+                parseU64(value("--keyspace"), "--keyspace"));
+        } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+            opts.checkpoint_batches = static_cast<uint32_t>(
+                parseU64(value("--checkpoint"), "--checkpoint"));
+        } else if (std::strcmp(argv[i], "--workers") == 0) {
+            opts.num_workers = static_cast<uint32_t>(
+                parseU64(value("--workers"), "--workers"));
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json_path = value("--json");
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    obs::setCountersEnabled(true);
+    obs::initFromEnvOnce();
+
+    KvServer server(opts);
+    ServeReport report = server.serve(ops, crash_points);
+
+    if (!quiet) {
+        std::printf(
+            "=== kv_serve: %" PRIu64 " ops, zipf %.2f, mix %u/%u/%u, "
+            "%u crash points, seed %" PRIu64 " ===\n",
+            ops, opts.zipf_theta, opts.mix.insert_pct,
+            opts.mix.search_pct, opts.mix.erase_pct, crash_points,
+            opts.seed);
+        std::printf(
+            "served   %" PRIu64 " requests in %" PRIu64
+            " batches (%" PRIu64 " cycles, device busy %" PRIu64 ")\n",
+            report.requests_acked, report.batches_served,
+            static_cast<uint64_t>(report.total_cycles),
+            static_cast<uint64_t>(report.device_busy_cycles));
+        std::printf(
+            "latency  p50 %.0f  p99 %.0f  p999 %.0f  max %" PRIu64
+            " cycles\n",
+            report.latency.percentile(0.50),
+            report.latency.percentile(0.99),
+            report.latency.percentile(0.999), report.latency.max);
+        std::printf(
+            "app      %" PRIu64 " insert drops, %" PRIu64
+            " search misses, %" PRIu64 " coalesced\n",
+            report.insert_drops, report.search_misses,
+            report.inserts_coalesced);
+        for (const CrashEvent &ev : report.crashes) {
+            std::printf(
+                "crash    @ store %" PRIu64 ": %" PRIu64
+                " torn lines, %" PRIu64 " batches replayed, %" PRIu64
+                " blocks re-executed, availability gap %" PRIu64
+                " cycles%s\n",
+                ev.store_point, ev.torn_lines, ev.batches_replayed,
+                ev.blocks_recovered,
+                static_cast<uint64_t>(ev.availability_gap),
+                ev.converged ? "" : "  [DID NOT CONVERGE]");
+        }
+        std::printf("audit    %" PRIu64 " acked-but-lost, %" PRIu64
+                    " phantom keys, %" PRIu64
+                    " resurrected drops -> %s\n",
+                    report.acked_lost, report.phantom_keys,
+                    report.drops_resurrected,
+                    report.audit_ok ? "PASS" : "FAIL");
+    }
+
+    if (json_path != nullptr) {
+        std::FILE *out = std::fopen(json_path, "w");
+        if (out == nullptr)
+            GPULP_FATAL("cannot open '%s' for writing", json_path);
+        writeReportJson(report, opts, ops, crash_points, out);
+        std::fclose(out);
+    }
+
+    bool converged = true;
+    for (const CrashEvent &ev : report.crashes)
+        converged = converged && ev.converged;
+    return (report.audit_ok && converged) ? 0 : 1;
+}

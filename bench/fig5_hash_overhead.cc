@@ -31,24 +31,44 @@ main(int argc, char **argv)
     auto quad = measureSuite(benches,
                              LpConfig::naive(TableKind::QuadProbe));
     auto cuckoo = measureSuite(benches, LpConfig::naive(TableKind::Cuckoo));
+    // v2 bucketized backends at their native 90% load factor (no paper
+    // reference; see docs/CHECKSUM_TABLES.md).
+    auto bucket2 = measureSuite(benches,
+                                LpConfig::naive(TableKind::Bucket2));
+    auto bucket2opt = measureSuite(benches,
+                                   LpConfig::naive(TableKind::Bucket2Opt));
+    // The global array (Table V's store) as the reference floor, under
+    // the same reduction so only the store differs between columns.
+    auto array = measureSuite(benches,
+                              LpConfig::naive(TableKind::GlobalArray));
 
     TextTable table({"Name", "Quad", "Quad(paper)", "Cuckoo",
-                     "Cuckoo(paper)", "blocks"});
-    std::vector<double> quad_ov, cuckoo_ov;
+                     "Cuckoo(paper)", "Bucket2", "B2Opt", "Array",
+                     "blocks"});
+    std::vector<double> quad_ov, cuckoo_ov, b2_ov, b2o_ov, arr_ov;
     for (int i = 0; i < paper::kCount; ++i) {
         quad_ov.push_back(quad[i].overhead);
         cuckoo_ov.push_back(cuckoo[i].overhead);
+        b2_ov.push_back(bucket2[i].overhead);
+        b2o_ov.push_back(bucket2opt[i].overhead);
+        arr_ov.push_back(array[i].overhead);
         table.addRow({paper::kNames[i], TextTable::pct(quad[i].overhead),
                       TextTable::num(paper::kQuadShfl[i], 2) + "%",
                       TextTable::pct(cuckoo[i].overhead),
                       TextTable::num(paper::kCuckooShfl[i], 2) + "%",
+                      TextTable::pct(bucket2[i].overhead),
+                      TextTable::pct(bucket2opt[i].overhead),
+                      TextTable::pct(array[i].overhead),
                       std::to_string(quad[i].num_blocks)});
     }
     table.addSeparator();
     table.addRow({"GeoMean", TextTable::pct(geomeanOverhead(quad_ov)),
                   TextTable::num(paper::kQuadShflGmean, 1) + "%",
                   TextTable::pct(geomeanOverhead(cuckoo_ov)),
-                  TextTable::num(paper::kCuckooShflGmean, 1) + "%", "-"});
+                  TextTable::num(paper::kCuckooShflGmean, 1) + "%",
+                  TextTable::pct(geomeanOverhead(b2_ov)),
+                  TextTable::pct(geomeanOverhead(b2o_ov)),
+                  TextTable::pct(geomeanOverhead(arr_ov)), "-"});
     table.print();
 
     std::printf("\nShape checks (paper findings):\n");

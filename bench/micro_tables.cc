@@ -1,7 +1,8 @@
 /**
  * @file
- * Microbenchmark: simulated insertion cost of the three checksum
- * stores (Fig. 3/4 and Sec. V of the paper) as the number of
+ * Microbenchmark: simulated insertion cost of every checksum store
+ * (Fig. 3/4 and Sec. V of the paper, plus the v2 bucketized backends
+ * of docs/CHECKSUM_TABLES.md) as the number of
  * concurrently inserting thread blocks grows. Custom counters report
  * simulated device cycles and collision counts: the global array's
  * insert cost stays flat and collision-free while both hashed tables
@@ -62,9 +63,23 @@ BM_InsertGlobalArray(benchmark::State &state)
     runInsertSweep(state, TableKind::GlobalArray);
 }
 
+void
+BM_InsertBucket2(benchmark::State &state)
+{
+    runInsertSweep(state, TableKind::Bucket2);
+}
+
+void
+BM_InsertBucket2Opt(benchmark::State &state)
+{
+    runInsertSweep(state, TableKind::Bucket2Opt);
+}
+
 BENCHMARK(BM_InsertQuadProbe)->Arg(512)->Arg(4096)->Arg(32768);
 BENCHMARK(BM_InsertCuckoo)->Arg(512)->Arg(4096)->Arg(32768);
 BENCHMARK(BM_InsertGlobalArray)->Arg(512)->Arg(4096)->Arg(32768);
+BENCHMARK(BM_InsertBucket2)->Arg(512)->Arg(4096)->Arg(32768);
+BENCHMARK(BM_InsertBucket2Opt)->Arg(512)->Arg(4096)->Arg(32768);
 
 } // namespace
 } // namespace gpulp

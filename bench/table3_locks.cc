@@ -85,6 +85,44 @@ main(int argc, char **argv)
                   TextTable::factor(paper::kCuckooLockBasedGmean), "-"});
     table.print();
 
+    // v2 backends: the bucketized table under both paper disciplines,
+    // plus the optimistic-versioned variant (its own discipline — a
+    // per-bucket seqlock instead of slot CAS or a table lock).
+    auto b2_free = measureSuite(benches, config(TableKind::Bucket2,
+                                                LockMode::LockFree));
+    auto b2_lock = measureSuite(benches, config(TableKind::Bucket2,
+                                                LockMode::LockBased));
+    auto b2_opt = measureSuite(benches, config(TableKind::Bucket2Opt,
+                                               LockMode::LockFree));
+    // The global array needs no discipline column: it has no atomics
+    // and no locks, so its single slowdown is the design-space floor.
+    auto arr = measureSuite(benches, config(TableKind::GlobalArray,
+                                            LockMode::LockFree));
+
+    std::printf("\nv2 backends (no paper reference; see "
+                "docs/CHECKSUM_TABLES.md):\n");
+    TextTable v2({"Name", "Bucket2 free", "Bucket2 lock", "Bucket2Opt",
+                  "opt retries", "Array", "blocks"});
+    std::vector<double> bf, bl, bo, av;
+    for (int i = 0; i < paper::kCount; ++i) {
+        bf.push_back(1.0 + b2_free[i].overhead);
+        bl.push_back(1.0 + b2_lock[i].overhead);
+        bo.push_back(1.0 + b2_opt[i].overhead);
+        av.push_back(1.0 + arr[i].overhead);
+        v2.addRow({paper::kNames[i], TextTable::factor(bf.back()),
+                   TextTable::factor(bl.back()),
+                   TextTable::factor(bo.back()),
+                   std::to_string(b2_opt[i].store_stats.opt_retries),
+                   TextTable::factor(av.back()),
+                   std::to_string(b2_free[i].num_blocks)});
+    }
+    v2.addSeparator();
+    v2.addRow({"GeoMean", TextTable::factor(geomean(bf)),
+               TextTable::factor(geomean(bl)),
+               TextTable::factor(geomean(bo)), "-",
+               TextTable::factor(geomean(av)), "-"});
+    v2.print();
+
     std::printf("\nShape checks (paper findings):\n");
     std::printf("  Lock-free beats lock-based everywhere:   %s\n",
                 [&] {
@@ -101,6 +139,9 @@ main(int argc, char **argv)
     std::printf("  Low-block-count kernels stay mild "
                 "(TPACF/HISTO < 3x):     %s\n",
                 ql[1] < 3.0 && ql[5] < 3.0 ? "yes" : "no");
+    std::printf("  Optimistic bucket2 no slower than locked bucket2:    "
+                "%s\n",
+                geomean(bo) <= geomean(bl) ? "yes" : "no");
     benchFinish(cli);
     return 0;
 }

@@ -5,7 +5,9 @@
  *
  * Demonstrates the full LP lifecycle on a real kernel: a shared-memory
  * tiled matmul runs with LP protection under several design points
- * (quadratic probing, cuckoo, global array), a crash is injected, and
+ * (quadratic probing, cuckoo, the bucketized two-choice backends,
+ * global array — GPULP_TABLE et al. select more, see README), a crash
+ * is injected, and
  * recovery restores the exact result. Also prints the modelled
  * overhead of each design point for this kernel, miniature Fig. 5.
  *
@@ -26,10 +28,12 @@ void
 reportOverhead(Device &dev, TmmWorkload &tmm, Cycles baseline,
                LpConfig cfg, const char *label)
 {
-    if (cfg.table == TableKind::QuadProbe)
-        cfg.load_factor = tmm.quadLoadFactor();
-    if (cfg.table == TableKind::Cuckoo)
-        cfg.load_factor = tmm.cuckooLoadFactor();
+    if (cfg.load_factor <= 0.0) {
+        if (cfg.table == TableKind::QuadProbe)
+            cfg.load_factor = tmm.quadLoadFactor();
+        if (cfg.table == TableKind::Cuckoo)
+            cfg.load_factor = tmm.cuckooLoadFactor();
+    }
     LpRuntime lp(dev, cfg, tmm.launchConfig());
     LaunchResult run = runWithLp(dev, tmm, lp);
     std::printf("  %-22s %6.2f%%  (collisions: %llu)\n", label,
@@ -64,8 +68,19 @@ main()
         reportOverhead(dev, tmm, baseline,
                        LpConfig::naive(TableKind::Cuckoo),
                        "cuckoo + shuffle");
+        reportOverhead(dev, tmm, baseline,
+                       LpConfig::naive(TableKind::Bucket2),
+                       "bucket2 + shuffle");
+        reportOverhead(dev, tmm, baseline,
+                       LpConfig::naive(TableKind::Bucket2Opt),
+                       "bucket2opt + shuffle");
         reportOverhead(dev, tmm, baseline, LpConfig::scalable(),
                        "global array + shuffle");
+        // GPULP_TABLE / GPULP_LOCK / GPULP_LOAD_FACTOR pick any backend
+        // without a rebuild (see README "Selecting a backend").
+        LpConfig env_cfg = applyConfigEnv(LpConfig::scalable());
+        reportOverhead(dev, tmm, baseline, env_cfg,
+                       (configLabel(env_cfg) + " (env)").c_str());
     }
 
     std::printf("\n== Crash and recovery ==\n");

@@ -64,9 +64,11 @@ constexpr uint32_t kUnwrittenChecksum = 0xffffffffu;
 struct StoreStats {
     uint64_t inserts = 0;
     uint64_t collisions = 0;   //!< occupied probes / eviction kicks
-    uint64_t probes = 0;       //!< total probe attempts (quad)
+    uint64_t probes = 0;       //!< total probe attempts (quad/bucket2)
     uint64_t kicks = 0;        //!< total evictions performed (cuckoo)
-    uint64_t stash_inserts = 0;//!< cuckoo cycle fallbacks
+    uint64_t stash_inserts = 0;//!< cuckoo/bucket2 cycle fallbacks
+    uint64_t displacements = 0;//!< bucket2 move-to-alternate-bucket events
+    uint64_t opt_retries = 0;  //!< bucket2opt optimistic restarts
 };
 
 /**
@@ -91,6 +93,22 @@ class ChecksumStore
      * entry for @p key survives in (post-crash) memory.
      */
     virtual bool lookup(uint32_t key, Checksums *out) const = 0;
+
+    /**
+     * Host-side erase (retire a region's checksum, e.g. when an arena
+     * reset recycles block IDs). Returns false when the backend does
+     * not support erasure or the key is absent. The open-addressed
+     * QuadProbeTable and the CuckooTable keep the default: removing a
+     * key from a probe/eviction chain would break lookups of the keys
+     * behind it without tombstone machinery neither table carries.
+     * Bucketized and global-array backends override it.
+     */
+    virtual bool
+    erase(uint32_t key)
+    {
+        (void)key;
+        return false;
+    }
 
     /** Re-initialize every slot to empty (host-side). */
     virtual void clear() = 0;
@@ -208,6 +226,162 @@ class CuckooTable : public ChecksumStore
     Addr lock_;
 };
 
+/**
+ * Bucketized power-of-two-choices table (WarpSpeed-style).
+ *
+ * Entries live in fixed-width buckets of kBucketWidth slots; each key
+ * hashes to two candidate buckets and is inserted into the lighter
+ * one. A bucket probe is warp-cooperative on real hardware — the
+ * warp's lanes each read one slot of the (single-cache-line-sized)
+ * bucket — so probe cost is counted per bucket visited, not per slot.
+ * When both candidate buckets are full, one incumbent whose alternate
+ * bucket has room is displaced there (bounded attempts), and a small
+ * linear stash catches the rare residue. Dense buckets keep lookups
+ * bounded at load factors past 90%, where quadratic probing's chains
+ * explode and cuckoo insertion stops terminating.
+ *
+ * Supports all three LockModes like the paper's tables: lock-free slot
+ * claims via atomicCAS, one table-wide spin lock, or the CAS-free
+ * plain-access discipline of Sec. IV-D.3.
+ */
+class Bucket2Table : public ChecksumStore
+{
+  public:
+    /** Slots per bucket (one 128 B bucket = one warp-wide read). */
+    static constexpr uint32_t kBucketWidth = 8;
+
+    /** Displacement attempts before falling back to the stash. */
+    static constexpr uint32_t kMaxDisplacements = 16;
+
+    /**
+     * @param dev Device whose memory backs the table.
+     * @param num_keys Number of distinct keys (thread blocks) expected.
+     * @param mode Insertion discipline.
+     * @param load_factor Target load factor; <=0 uses the 0.9 default.
+     */
+    Bucket2Table(Device &dev, uint64_t num_keys, LockMode mode,
+                 double load_factor = 0.0);
+
+    void insert(ThreadCtx &t, uint32_t key, Checksums cs) override;
+    bool lookup(uint32_t key, Checksums *out) const override;
+    bool erase(uint32_t key) override;
+    void clear() override;
+    uint64_t capacity() const override;
+    uint64_t footprintBytes() const override;
+    const char *name() const override { return "bucket2"; }
+
+  private:
+    /** Candidate bucket index for hash choice @p choice in {0, 1}. */
+    uint64_t bucketOf(uint32_t key, uint32_t choice) const;
+
+    Addr keyAddr(uint64_t bucket, uint32_t slot) const;
+    Addr payloadAddr(uint64_t bucket, uint32_t slot) const;
+
+    void insertLockFree(ThreadCtx &t, uint32_t key, Checksums cs);
+    void insertLockBased(ThreadCtx &t, uint32_t key, Checksums cs);
+    void insertNoAtomic(ThreadCtx &t, uint32_t key, Checksums cs);
+
+    /**
+     * Lock-free displacement: move one incumbent of @p bucket to its
+     * alternate bucket and claim the freed slot for @p key. Returns
+     * false when no incumbent's alternate bucket has room.
+     */
+    bool displaceLockFree(ThreadCtx &t, uint64_t bucket, uint32_t key,
+                          Checksums cs);
+
+    /** Last-resort linear-probed stash (claims via atomicCAS). */
+    void stashInsert(ThreadCtx &t, uint32_t key, Checksums cs);
+
+    Device &dev_;
+    LockMode mode_;
+    uint64_t num_buckets_; //!< exact sizing from the target load factor
+    Addr buckets_;         //!< num_buckets_ x kBucketWidth x 16B entries
+    Addr stash_;
+    uint64_t stash_slots_;
+    Addr lock_;            //!< table-wide lock word (LockBased)
+};
+
+/**
+ * Optimistic-versioned variant of Bucket2Table.
+ *
+ * Same two-choice bucket layout, but concurrency control is a
+ * per-bucket seqlock instead of slot CAS or a table lock: each bucket
+ * carries a 32-bit version word, even when quiescent. Writers claim a
+ * bucket by CASing its version even -> odd, mutate slots with plain
+ * stores, and release by bumping to the next even value. Readers (the
+ * device-side probe() and host-side lookup()) snapshot the version,
+ * probe with plain loads, and re-check that the version is unchanged
+ * AND even — the parity check is what rules out reading a bucket mid-
+ * write, and omitting it is the classic seqlock torn-read bug (see
+ * OptimisticStoreTest.TornPayloadNeverObserved). Any mismatch restarts
+ * the probe and counts an optimistic retry.
+ *
+ * Displacement touches two buckets; version claims are always taken in
+ * ascending bucket-index order so concurrent displacers cannot
+ * deadlock. LockMode does not apply: the backend is its own (lock-free
+ * optimistic) discipline and ignores LpConfig::lock.
+ */
+class Bucket2OptTable : public ChecksumStore
+{
+  public:
+    static constexpr uint32_t kBucketWidth = Bucket2Table::kBucketWidth;
+    static constexpr uint32_t kMaxDisplacements =
+        Bucket2Table::kMaxDisplacements;
+
+    Bucket2OptTable(Device &dev, uint64_t num_keys,
+                    double load_factor = 0.0);
+
+    void insert(ThreadCtx &t, uint32_t key, Checksums cs) override;
+    bool lookup(uint32_t key, Checksums *out) const override;
+    bool erase(uint32_t key) override;
+    void clear() override;
+    uint64_t capacity() const override;
+    uint64_t footprintBytes() const override;
+    const char *name() const override { return "bucket2opt"; }
+
+    /**
+     * Device-side optimistic probe (the read path a warp would run).
+     * Returns false when @p key is in neither candidate bucket nor the
+     * stash. Retries torn snapshots; never returns a torn payload.
+     */
+    bool probe(ThreadCtx &t, uint32_t key, Checksums *out);
+
+  private:
+    /** White-box peer: tests construct crash-torn version/slot states
+     *  (odd version word, half-written payload) directly in memory. */
+    friend struct Bucket2OptTestPeer;
+
+    uint64_t bucketOf(uint32_t key, uint32_t choice) const;
+    Addr versionAddr(uint64_t bucket) const;
+    Addr keyAddr(uint64_t bucket, uint32_t slot) const;
+    Addr payloadAddr(uint64_t bucket, uint32_t slot) const;
+
+    /** Spin until the bucket's version is claimed even -> odd. */
+    uint32_t bucketAcquire(ThreadCtx &t, uint64_t bucket);
+    void bucketRelease(ThreadCtx &t, uint64_t bucket, uint32_t claimed);
+
+    /**
+     * Holding @p bucket's version claim, write @p key / @p cs into an
+     * empty or matching slot. Returns false when the bucket is full of
+     * other keys.
+     */
+    bool tryPlaceLocked(ThreadCtx &t, uint64_t bucket, uint32_t key,
+                        Checksums cs);
+
+    /** Two-bucket displacement (ascending-order claims). */
+    bool displace(ThreadCtx &t, uint64_t bucket, uint32_t key,
+                  Checksums cs);
+
+    void stashInsert(ThreadCtx &t, uint32_t key, Checksums cs);
+
+    Device &dev_;
+    uint64_t num_buckets_;
+    Addr buckets_;
+    Addr versions_; //!< num_buckets_ x uint32 seqlock words
+    Addr stash_;
+    uint64_t stash_slots_;
+};
+
 /** The paper's hash-table-less checksum global array (Sec. V). */
 class GlobalArrayStore : public ChecksumStore
 {
@@ -216,6 +390,7 @@ class GlobalArrayStore : public ChecksumStore
 
     void insert(ThreadCtx &t, uint32_t key, Checksums cs) override;
     bool lookup(uint32_t key, Checksums *out) const override;
+    bool erase(uint32_t key) override;
     void clear() override;
     uint64_t capacity() const override { return num_keys_; }
     uint64_t footprintBytes() const override { return num_keys_ * 9; }

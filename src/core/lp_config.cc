@@ -1,5 +1,7 @@
 #include "lp_config.h"
 
+#include <cstdlib>
+
 #include "common/logging.h"
 
 namespace gpulp {
@@ -42,6 +44,10 @@ toString(TableKind kind)
         return "cuckoo";
       case TableKind::GlobalArray:
         return "array";
+      case TableKind::Bucket2:
+        return "bucket2";
+      case TableKind::Bucket2Opt:
+        return "bucket2opt";
     }
     GPULP_PANIC("bad TableKind %d", static_cast<int>(kind));
 }
@@ -58,6 +64,69 @@ toString(LockMode mode)
         return "noatomic";
     }
     GPULP_PANIC("bad LockMode %d", static_cast<int>(mode));
+}
+
+TableKind
+tableKindFromString(const std::string &name)
+{
+    if (name == "quad")
+        return TableKind::QuadProbe;
+    if (name == "cuckoo")
+        return TableKind::Cuckoo;
+    if (name == "array")
+        return TableKind::GlobalArray;
+    if (name == "bucket2")
+        return TableKind::Bucket2;
+    if (name == "bucket2opt")
+        return TableKind::Bucket2Opt;
+    GPULP_FATAL("unknown table '%s' (want quad, cuckoo, array, bucket2 "
+                "or bucket2opt)",
+                name.c_str());
+}
+
+LockMode
+lockModeFromString(const std::string &name)
+{
+    if (name == "lockfree")
+        return LockMode::LockFree;
+    if (name == "lockbased")
+        return LockMode::LockBased;
+    if (name == "noatomic")
+        return LockMode::NoAtomic;
+    GPULP_FATAL("unknown lock mode '%s' (want lockfree, lockbased or "
+                "noatomic)",
+                name.c_str());
+}
+
+ChecksumKind
+checksumKindFromString(const std::string &name)
+{
+    if (name == "modular")
+        return ChecksumKind::Modular;
+    if (name == "parity")
+        return ChecksumKind::Parity;
+    if (name == "both")
+        return ChecksumKind::ModularParity;
+    GPULP_FATAL("unknown checksum '%s' (want modular, parity or both)",
+                name.c_str());
+}
+
+LpConfig
+applyConfigEnv(LpConfig cfg)
+{
+    if (const char *table = std::getenv("GPULP_TABLE"))
+        cfg.table = tableKindFromString(table);
+    if (const char *lock = std::getenv("GPULP_LOCK"))
+        cfg.lock = lockModeFromString(lock);
+    if (const char *lf = std::getenv("GPULP_LOAD_FACTOR")) {
+        char *end = nullptr;
+        double v = std::strtod(lf, &end);
+        if (end == lf || *end != '\0' || !(v > 0.0) || v > 1.0)
+            GPULP_FATAL("GPULP_LOAD_FACTOR must be in (0, 1], got '%s'",
+                        lf);
+        cfg.load_factor = v;
+    }
+    return cfg;
 }
 
 std::string

@@ -36,11 +36,16 @@ enum class ReductionKind : uint8_t {
                       //!< asks architects for)
 };
 
-/** Checksum-table organization (Sec. IV-C and Sec. V). */
+/**
+ * Checksum-table organization (Sec. IV-C and Sec. V, plus the v2
+ * engine's bucketized backends — see docs/CHECKSUM_TABLES.md).
+ */
 enum class TableKind : uint8_t {
     QuadProbe,   //!< open addressing with quadratic probing
     Cuckoo,      //!< two tables / two hash functions, eviction chains
     GlobalArray, //!< hash-table-less checksum global array (Sec. V)
+    Bucket2,     //!< bucketized power-of-two-choices (WarpSpeed-style)
+    Bucket2Opt,  //!< bucketized two-choice, optimistic per-bucket versions
 };
 
 /** Synchronization discipline for table insertion (Sec. IV-C.1/D.3-4). */
@@ -92,6 +97,24 @@ const char *toString(TableKind kind);
 
 /** Human-readable name for a lock mode. */
 const char *toString(LockMode mode);
+
+/** Parse "quad" / "cuckoo" / "array" / "bucket2" / "bucket2opt". */
+TableKind tableKindFromString(const std::string &name);
+
+/** Parse "lockfree" / "lockbased" / "noatomic". */
+LockMode lockModeFromString(const std::string &name);
+
+/** Parse "modular" / "parity" / "both". */
+ChecksumKind checksumKindFromString(const std::string &name);
+
+/**
+ * Overlay the GPULP_TABLE, GPULP_LOCK and GPULP_LOAD_FACTOR environment
+ * variables (when set) on @p cfg. Tools and examples that accept an LP
+ * configuration call this so any backend can be selected without a
+ * rebuild; comparative benches do NOT, so their side-by-side tables
+ * cannot be silently skewed by a stray variable.
+ */
+LpConfig applyConfigEnv(LpConfig cfg);
 
 /** Compact label such as "quad+shfl+lockfree" for reports. */
 std::string configLabel(const LpConfig &cfg);

@@ -79,10 +79,13 @@ struct CampaignOptions {
     /** Workloads to sweep; must implement the outputSpans() hook. */
     std::vector<std::string> workloads = {"spmv", "mri-q", "tmm"};
 
-    /** Checksum stores to sweep. */
+    /** Checksum stores to sweep (every backend by default, so each new
+     *  table kind is crash-tested the moment it parses). */
     std::vector<TableKind> tables = {TableKind::QuadProbe,
                                      TableKind::Cuckoo,
-                                     TableKind::GlobalArray};
+                                     TableKind::GlobalArray,
+                                     TableKind::Bucket2,
+                                     TableKind::Bucket2Opt};
 
     /** Checksum kinds to sweep. */
     std::vector<ChecksumKind> checksums = {ChecksumKind::ModularParity};

@@ -88,6 +88,15 @@ namespace gpulp::obs {
     X(StoreCuckooStashInserts, "store.cuckoo.stash_inserts", "inserts",       \
       "store")                                                                \
     X(StoreArrayInserts,   "store.array.inserts",    "inserts", "store")      \
+    X(StoreBucket2Inserts, "store.bucket2.inserts",  "inserts", "store")      \
+    X(StoreBucket2Probes,  "store.bucket2.probes",   "buckets", "store")      \
+    X(StoreBucket2Collisions, "store.bucket2.collisions", "slots", "store")   \
+    X(StoreBucket2Displacements, "store.bucket2.displacements", "moves",      \
+      "store")                                                                \
+    X(StoreBucket2StashInserts, "store.bucket2.stash_inserts", "inserts",     \
+      "store")                                                                \
+    X(StoreBucket2OptRetries, "store.bucket2.opt_retries", "retries",         \
+      "store")                                                                \
     X(StoreLockAcquires,   "store.lock_acquires",    "acquires", "store")     \
     /* sim: device + SIMT execution (src/sim) */                              \
     X(SimLaunches,         "sim.launches",           "launches", "sim")       \
@@ -137,6 +146,8 @@ namespace gpulp::obs {
 /** Histogram catalog: symbol, dotted name, unit of samples, subsystem. */
 #define GPULP_HISTOGRAM_LIST(X)                                               \
     X(StoreQuadProbeLen,   "store.quad.probe_len",   "probes/insert",         \
+      "store")                                                                \
+    X(StoreBucket2ProbeLen, "store.bucket2.probe_len", "buckets/insert",      \
       "store")                                                                \
     X(StoreLoadFactorPct,  "store.load_factor_pct",  "percent", "store")      \
     X(SimBlockCycles,      "sim.block_cycles",       "cycles/block", "sim")   \

@@ -355,6 +355,11 @@ INSTANTIATE_TEST_SUITE_P(
                       StoreCase{TableKind::Cuckoo, LockMode::LockBased},
                       StoreCase{TableKind::Cuckoo, LockMode::NoAtomic},
                       StoreCase{TableKind::GlobalArray,
+                                LockMode::LockFree},
+                      StoreCase{TableKind::Bucket2, LockMode::LockFree},
+                      StoreCase{TableKind::Bucket2, LockMode::LockBased},
+                      StoreCase{TableKind::Bucket2, LockMode::NoAtomic},
+                      StoreCase{TableKind::Bucket2Opt,
                                 LockMode::LockFree}),
     [](const ::testing::TestParamInfo<StoreCase> &info) {
         return std::string(toString(info.param.table)) + "_" +

@@ -231,7 +231,7 @@ TEST(OutputSpans, BlockSpansPartitionTheOutput)
 // Campaign smoke
 // ---------------------------------------------------------------------
 
-TEST(FaultCampaign, SmokeSweepRecoversEverythingOnAllThreeStores)
+TEST(FaultCampaign, SmokeSweepRecoversEverythingOnAllStores)
 {
     CampaignOptions opts;
     opts.scale = 0.004;
@@ -243,7 +243,8 @@ TEST(FaultCampaign, SmokeSweepRecoversEverythingOnAllThreeStores)
 
     CampaignResult result = runFaultCampaign(opts);
     EXPECT_TRUE(result.passed());
-    ASSERT_EQ(result.cells.size(), 3u); // quad, cuckoo, array
+    // quad, cuckoo, array, bucket2, bucket2opt
+    ASSERT_EQ(result.cells.size(), 5u);
 
     for (const CellResult &cell : result.cells) {
         SCOPED_TRACE(toString(cell.table));

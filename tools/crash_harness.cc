@@ -16,7 +16,7 @@
  * Usage:
  *   crash_harness [--workloads a,b,c] [--device mem|file] [--scale F]
  *                 [--seed N] [--grid N] [--random N] [--workers N]
- *                 [--table quad|cuckoo|array]
+ *                 [--table quad|cuckoo|array|bucket2|bucket2opt]
  *                 [--checksum modular|parity|both]
  *                 [--log PATH] [--work-dir PATH] [--keep-files]
  *                 [--json PATH] [--quiet]
@@ -51,32 +51,6 @@ splitList(const std::string &text)
     return out;
 }
 
-TableKind
-parseTable(const std::string &name)
-{
-    if (name == "quad")
-        return TableKind::QuadProbe;
-    if (name == "cuckoo")
-        return TableKind::Cuckoo;
-    if (name == "array")
-        return TableKind::GlobalArray;
-    GPULP_FATAL("unknown table '%s' (want quad, cuckoo or array)",
-                name.c_str());
-}
-
-ChecksumKind
-parseChecksum(const std::string &name)
-{
-    if (name == "modular")
-        return ChecksumKind::Modular;
-    if (name == "parity")
-        return ChecksumKind::Parity;
-    if (name == "both")
-        return ChecksumKind::ModularParity;
-    GPULP_FATAL("unknown checksum '%s' (want modular, parity or both)",
-                name.c_str());
-}
-
 uint64_t
 parseU64(const char *text, const char *what)
 {
@@ -95,7 +69,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--workloads a,b,c] [--device mem|file] [--scale F]\n"
         "          [--seed N] [--grid N] [--random N] [--workers N]\n"
-        "          [--table quad|cuckoo|array]\n"
+        "          [--table quad|cuckoo|array|bucket2|bucket2opt]\n"
         "          [--checksum modular|parity|both]\n"
         "          [--batch BYTES] [--log PATH] [--work-dir PATH]\n"
         "          [--keep-files] [--json PATH] [--quiet]\n",
@@ -144,9 +118,9 @@ main(int argc, char **argv)
             base.num_workers = static_cast<uint32_t>(
                 parseU64(value("--workers"), "--workers"));
         } else if (std::strcmp(argv[i], "--table") == 0) {
-            base.table = parseTable(value("--table"));
+            base.table = tableKindFromString(value("--table"));
         } else if (std::strcmp(argv[i], "--checksum") == 0) {
-            base.checksum = parseChecksum(value("--checksum"));
+            base.checksum = checksumKindFromString(value("--checksum"));
         } else if (std::strcmp(argv[i], "--batch") == 0) {
             base.log_batch_bytes =
                 static_cast<size_t>(parseU64(value("--batch"), "--batch"));

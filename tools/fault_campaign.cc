@@ -13,7 +13,7 @@
  * Usage:
  *   fault_campaign [--scale F] [--seed N] [--grid N] [--random N]
  *                  [--workers N] [--workloads a,b,c]
- *                  [--tables quad,cuckoo,array]
+ *                  [--tables quad,cuckoo,array,bucket2,bucket2opt]
  *                  [--checksums modular,parity,both]
  *                  [--json PATH] [--trace PATH] [--quiet]
  *
@@ -54,32 +54,6 @@ splitList(const std::string &text)
     return out;
 }
 
-TableKind
-parseTable(const std::string &name)
-{
-    if (name == "quad")
-        return TableKind::QuadProbe;
-    if (name == "cuckoo")
-        return TableKind::Cuckoo;
-    if (name == "array")
-        return TableKind::GlobalArray;
-    GPULP_FATAL("unknown table '%s' (want quad, cuckoo or array)",
-                name.c_str());
-}
-
-ChecksumKind
-parseChecksum(const std::string &name)
-{
-    if (name == "modular")
-        return ChecksumKind::Modular;
-    if (name == "parity")
-        return ChecksumKind::Parity;
-    if (name == "both")
-        return ChecksumKind::ModularParity;
-    GPULP_FATAL("unknown checksum '%s' (want modular, parity or both)",
-                name.c_str());
-}
-
 uint64_t
 parseU64(const char *text, const char *what)
 {
@@ -98,7 +72,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--scale F] [--seed N] [--grid N] [--random N]\n"
         "          [--workers N] [--workloads a,b,c]\n"
-        "          [--tables quad,cuckoo,array]\n"
+        "          [--tables quad,cuckoo,array,bucket2,bucket2opt]\n"
         "          [--checksums modular,parity,both]\n"
         "          [--json PATH] [--trace PATH] [--quiet]\n",
         argv0);
@@ -139,11 +113,11 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--tables") == 0) {
             opts.tables.clear();
             for (const std::string &t : splitList(value("--tables")))
-                opts.tables.push_back(parseTable(t));
+                opts.tables.push_back(tableKindFromString(t));
         } else if (std::strcmp(argv[i], "--checksums") == 0) {
             opts.checksums.clear();
             for (const std::string &k : splitList(value("--checksums")))
-                opts.checksums.push_back(parseChecksum(k));
+                opts.checksums.push_back(checksumKindFromString(k));
         } else if (std::strcmp(argv[i], "--json") == 0) {
             json_path = value("--json");
         } else if (std::strcmp(argv[i], "--trace") == 0) {

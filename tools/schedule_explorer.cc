@@ -19,6 +19,7 @@
  * Usage:
  *   schedule_explorer [--scale F] [--seed N] [--schedules N]
  *                     [--workloads a,b,c] [--policies random,dpor]
+ *                     [--table quad|cuckoo|array|bucket2|bucket2opt]
  *                     [--crash-points N] [--crash-schedules N]
  *                     [--workers N] [--min-distinct N]
  *                     [--json PATH] [--trace PATH] [--quiet]
@@ -74,6 +75,7 @@ usage(const char *argv0)
         "usage: %s [--scale F] [--seed N] [--schedules N]\n"
         "          [--workloads a,b,c]\n"
         "          [--policies deterministic,random,dpor]\n"
+        "          [--table quad|cuckoo|array|bucket2|bucket2opt]\n"
         "          [--crash-points N] [--crash-schedules N]\n"
         "          [--workers N] [--min-distinct N]\n"
         "          [--json PATH] [--trace PATH] [--quiet]\n",
@@ -110,6 +112,8 @@ main(int argc, char **argv)
             opts.policies.clear();
             for (const std::string &p : splitList(value("--policies")))
                 opts.policies.push_back(policyKindFromString(p));
+        } else if (std::strcmp(argv[i], "--table") == 0) {
+            opts.table = tableKindFromString(value("--table"));
         } else if (std::strcmp(argv[i], "--crash-points") == 0) {
             opts.crash_points = static_cast<uint32_t>(
                 parseU64(value("--crash-points"), "--crash-points"));

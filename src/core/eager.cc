@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "nvm/persist_log.h" // persistLogCrc32
+
 namespace gpulp {
 
 EpRuntime::EpRuntime(Device &dev, const LaunchConfig &launch,
@@ -22,15 +24,46 @@ EpRuntime::logEntryAddr(uint64_t block, uint64_t slot) const
     return logs_ + (block * entriesPerBlock() + slot) * kLogEntryBytes;
 }
 
+uint64_t
+EpRuntime::tagAddr(Addr addr, uint32_t bytes)
+{
+    GPULP_ASSERT(bytes == 2 || bytes == 4,
+                 "EP protects 2- or 4-byte stores, got %u", bytes);
+    GPULP_ASSERT(addr < (uint64_t{1} << 56), "address too large to tag");
+    return addr | (uint64_t{bytes} << 56);
+}
+
+uint32_t
+EpRuntime::entryCrc(uint64_t tagged, uint32_t old_bits)
+{
+    uint8_t payload[12];
+    std::memcpy(payload, &tagged, 8);
+    std::memcpy(payload + 8, &old_bits, 4);
+    return persistLogCrc32(payload, sizeof(payload), kEntryCrcSeed);
+}
+
 void
-EpRuntime::protectedStore32(ThreadCtx &t, ThreadLog &log, Addr addr,
-                            uint32_t bits)
+EpRuntime::durableRead(Addr addr, size_t bytes, void *out) const
+{
+    // The arena may hold stores that landed after the crash latch
+    // tripped and never reached the persistence domain; recovery must
+    // only trust what the NVM actually holds.
+    if (NvmCache *nvm = dev_.nvm())
+        nvm->readPersisted(addr, bytes, out);
+    else
+        std::memcpy(out, dev_.mem().raw(addr), bytes);
+}
+
+void
+EpRuntime::logOldValue(ThreadCtx &t, ThreadLog &log, Addr addr,
+                       uint32_t bytes)
 {
     uint64_t block = t.blockRank();
 
     // 1. Read the old value and claim the next slot of this thread's
     //    log partition (no atomics: logs are per-thread).
-    uint32_t old_bits = t.loadAddr<uint32_t>(addr);
+    uint32_t old_bits = bytes == 2 ? t.loadAddr<uint16_t>(addr)
+                                   : t.loadAddr<uint32_t>(addr);
     GPULP_ASSERT(log.used < entries_per_thread_,
                  "EP undo log overflow: thread needs more than %llu "
                  "entries",
@@ -38,16 +71,36 @@ EpRuntime::protectedStore32(ThreadCtx &t, ThreadLog &log, Addr addr,
     uint64_t slot =
         uint64_t{t.flatThreadIdx()} * entries_per_thread_ + log.used++;
 
-    // 2. The undo entry must be durable before the data store (the
-    //    undo-logging invariant): write, flush, fence.
+    // 2. The undo entry must be durable before the data mutation (the
+    //    undo-logging invariant): write, flush, fence. The CRC makes
+    //    entry validity out-of-band: a slot only counts at recovery if
+    //    its checksum matches, so a torn line or a target that happens
+    //    to be 0 cannot be confused with a live or empty entry.
     Addr entry = logEntryAddr(block, slot);
-    t.storeAddr<uint64_t>(entry, addr);
+    uint64_t tagged = tagAddr(addr, bytes);
+    t.storeAddr<uint64_t>(entry, tagged);
     t.storeAddr<uint32_t>(entry + 8, old_bits);
+    t.storeAddr<uint32_t>(entry + 12, entryCrc(tagged, old_bits));
     t.clwb(entry);
     t.persistBarrier();
+}
 
-    // 3. The data store, eagerly pushed toward the NVM.
+void
+EpRuntime::protectedStore32(ThreadCtx &t, ThreadLog &log, Addr addr,
+                            uint32_t bits)
+{
+    logOldValue(t, log, addr, 4);
+    // The data store, eagerly pushed toward the NVM.
     t.storeAddr<uint32_t>(addr, bits);
+    t.clwb(addr);
+}
+
+void
+EpRuntime::protectedStore16(ThreadCtx &t, ThreadLog &log, Addr addr,
+                            uint16_t bits)
+{
+    logOldValue(t, log, addr, 2);
+    t.storeAddr<uint16_t>(addr, bits);
     t.clwb(addr);
 }
 
@@ -59,7 +112,7 @@ EpRuntime::commitRegion(ThreadCtx &t)
     t.persistBarrier();
     t.syncthreads();
     if (t.flatThreadIdx() == 0) {
-        Addr flag = commit_flags_ + t.blockRank() * 4;
+        Addr flag = commitFlagAddr(t.blockRank());
         t.storeAddr<uint32_t>(flag, 1);
         t.clwb(flag);
         t.persistBarrier();
@@ -71,27 +124,40 @@ EpRuntime::recoverUndo()
 {
     GlobalMemory &mem = dev_.mem();
     NvmCache *nvm = dev_.nvm();
+    // A pending latch freezes the persistence domain: rollback writes
+    // and the final checkpoint would silently persist nothing. Resolve
+    // the power failure (rewind to the durable image) before touching
+    // anything.
+    if (nvm && nvm->crashPending())
+        nvm->crash();
     uint64_t rolled_back = 0;
     for (uint64_t block = 0; block < launch_.numBlocks(); ++block) {
-        uint32_t committed;
-        std::memcpy(&committed, mem.raw(commit_flags_ + block * 4), 4);
-        if (committed)
+        if (isCommittedHost(block))
             continue;
         // The log cursor is volatile state and may not have persisted;
         // the log *entries* are what the protocol made durable (each
         // was flushed and fenced before its data store). Scan every
-        // slot newest-first and undo the ones that reached the NVM — a
-        // null target address marks a slot that never persisted.
+        // slot newest-first and undo the ones whose CRC proves they
+        // reached the NVM intact.
         bool undid_any = false;
         for (uint64_t slot = entriesPerBlock(); slot > 0; --slot) {
             Addr entry = logEntryAddr(block, slot - 1);
-            uint64_t target;
-            uint32_t old_bits;
-            std::memcpy(&target, mem.raw(entry), 8);
-            std::memcpy(&old_bits, mem.raw(entry + 8), 4);
-            if (target == kNullAddr)
-                continue;
-            std::memcpy(mem.raw(static_cast<Addr>(target)), &old_bits, 4);
+            uint8_t raw[kLogEntryBytes];
+            durableRead(entry, kLogEntryBytes, raw);
+            uint64_t tagged;
+            uint32_t old_bits, crc;
+            std::memcpy(&tagged, raw, 8);
+            std::memcpy(&old_bits, raw + 8, 4);
+            std::memcpy(&crc, raw + 12, 4);
+            if (crc != entryCrc(tagged, old_bits))
+                continue; // empty, torn or garbage slot
+            uint32_t bytes = static_cast<uint32_t>(tagged >> 56);
+            Addr target = tagged & ((uint64_t{1} << 56) - 1);
+            if ((bytes != 2 && bytes != 4) ||
+                target + bytes > mem.used()) {
+                continue; // CRC collision on garbage; never undo OOB
+            }
+            std::memcpy(mem.raw(target), &old_bits, bytes);
             undid_any = true;
         }
         if (undid_any)
@@ -110,7 +176,7 @@ bool
 EpRuntime::isCommittedHost(uint64_t block) const
 {
     uint32_t committed;
-    std::memcpy(&committed, dev_.mem().raw(commit_flags_ + block * 4), 4);
+    durableRead(commitFlagAddr(block), 4, &committed);
     return committed != 0;
 }
 
@@ -119,9 +185,17 @@ EpRuntime::reset()
 {
     GlobalMemory &mem = dev_.mem();
     uint64_t blocks = launch_.numBlocks();
-    std::memset(mem.raw(logs_), 0,
-                blocks * entriesPerBlock() * kLogEntryBytes);
+    const uint64_t log_bytes = blocks * entriesPerBlock() * kLogEntryBytes;
+    std::memset(mem.raw(logs_), 0, log_bytes);
     std::memset(mem.raw(commit_flags_), 0, blocks * 4);
+    // The cleared state must be as durable as the state it replaces: a
+    // committed flag from the previous run lingering in the NVM shadow
+    // would be resurrected by the next crash rewind and mask an
+    // uncommitted region.
+    if (NvmCache *nvm = dev_.nvm()) {
+        nvm->persistRange(logs_, log_bytes);
+        nvm->persistRange(commit_flags_, blocks * 4);
+    }
 }
 
 uint64_t

@@ -21,7 +21,17 @@
  * possible in simulation.
  *
  * Recovery: uncommitted regions are rolled back from their undo logs
- * (host-side, as crash recovery runs before kernels restart).
+ * (host-side, as crash recovery runs before kernels restart). Recovery
+ * reads commit flags and log entries through the NVM-durable view
+ * (NvmCache::readPersisted): the arena may hold stores that landed
+ * after the crash latch tripped and never reached the persistence
+ * domain, and trusting those would "recover" from state that does not
+ * exist after a real power failure. Undo-entry validity is a per-entry
+ * CRC, not an in-band null-target sentinel — a torn or garbage entry
+ * (including one whose target field happens to decode to the reserved
+ * null address 0, which the old sentinel confused with "empty") is
+ * skipped explicitly, without aborting the scan of the rest of the
+ * log.
  */
 
 #ifndef GPULP_CORE_EAGER_H
@@ -46,8 +56,12 @@ namespace gpulp {
 class EpRuntime
 {
   public:
-    /** Bytes per undo-log entry: {addr: 8, old bits: 4, pad: 4}. */
+    /** Bytes per undo-log entry: {size|addr: 8, old bits: 4, crc: 4}. */
     static constexpr uint64_t kLogEntryBytes = 16;
+
+    /** CRC seed for undo entries; nonzero so an all-zero (never
+     *  written) slot can never validate. */
+    static constexpr uint32_t kEntryCrcSeed = 0x9e3779b9u;
 
     /** Per-thread log cursor, register-resident in the kernel. */
     struct ThreadLog {
@@ -65,12 +79,27 @@ class EpRuntime
     // Device-side protocol ---------------------------------------------------
 
     /**
+     * Durably log the current value of [addr, addr+bytes): write the
+     * undo entry, flush it and fence — the undo-logging invariant that
+     * must complete before the data mutation. Split out from
+     * protectedStore32() so atomic claims (e.g. MEGA-KV's slot CAS)
+     * can be covered too: log first, then perform the atomic.
+     * @p bytes must be 2 or 4.
+     */
+    void logOldValue(ThreadCtx &t, ThreadLog &log, Addr addr,
+                     uint32_t bytes);
+
+    /**
      * EP-protected 32-bit store: logs the old value (flushed + fenced
      * before the data store, the undo invariant), performs the store
      * and flushes its line.
      */
     void protectedStore32(ThreadCtx &t, ThreadLog &log, Addr addr,
                           uint32_t bits);
+
+    /** EP-protected 16-bit store (SAD's uint16 output). */
+    void protectedStore16(ThreadCtx &t, ThreadLog &log, Addr addr,
+                          uint16_t bits);
 
     /** EP-protected float store (via the 32-bit path). */
     void
@@ -90,22 +119,42 @@ class EpRuntime
 
     /**
      * Undo every uncommitted region from its persisted log, newest
-     * entry first, and persist the rolled-back state.
+     * entry first, and persist the rolled-back state. Reads flags and
+     * entries through the durable view; if the crash latch is still
+     * pending the simulated power failure is resolved first
+     * (NvmCache::crash()), since nothing recovery writes could persist
+     * through a frozen domain.
      *
      * @return Number of regions rolled back.
      */
     uint64_t recoverUndo();
 
-    /** True if @p block committed durably. */
+    /** True if @p block committed *durably* (NVM view, not the arena). */
     bool isCommittedHost(uint64_t block) const;
 
-    /** Clear logs, cursors and commit flags for a fresh run. */
+    /**
+     * Clear logs, cursors and commit flags for a fresh run, and persist
+     * the cleared state: a stale durable commit flag from a previous
+     * run would otherwise be resurrected by the next crash rewind and
+     * mask an uncommitted region.
+     */
     void reset();
 
     /** Device-memory footprint of logs + metadata. */
     uint64_t footprintBytes() const;
 
-  private:
+    // Introspection (tests, fault injection) ---------------------------------
+
+    /** Device address of @p slot-th undo entry of @p block. */
+    Addr logEntryAddr(uint64_t block, uint64_t slot) const;
+
+    /** Device address of @p block's commit flag. */
+    Addr
+    commitFlagAddr(uint64_t block) const
+    {
+        return commit_flags_ + block * 4;
+    }
+
     /** Entries per block across all its threads. */
     uint64_t
     entriesPerBlock() const
@@ -113,7 +162,18 @@ class EpRuntime
         return entries_per_thread_ * launch_.threadsPerBlock();
     }
 
-    Addr logEntryAddr(uint64_t block, uint64_t slot) const;
+    /** Tagged target word of an undo entry: store width in the top
+     *  byte, device address below (addresses are far smaller). */
+    static uint64_t tagAddr(Addr addr, uint32_t bytes);
+
+    /** CRC an entry's payload ({tagged target, old bits}) validates
+     *  against; seeded so a zeroed slot never matches. */
+    static uint32_t entryCrc(uint64_t tagged, uint32_t old_bits);
+
+  private:
+    /** Read [addr, addr+bytes) from the durable image when an NVM
+     *  model is attached, else from the arena. */
+    void durableRead(Addr addr, size_t bytes, void *out) const;
 
     Device &dev_;
     LaunchConfig launch_;

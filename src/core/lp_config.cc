@@ -66,6 +66,42 @@ toString(LockMode mode)
     GPULP_PANIC("bad LockMode %d", static_cast<int>(mode));
 }
 
+const char *
+toString(PersistModel model)
+{
+    switch (model) {
+      case PersistModel::Lazy:
+        return "lazy";
+      case PersistModel::Eager:
+        return "eager";
+      case PersistModel::Strict:
+        return "strict";
+      case PersistModel::EpochBlock:
+        return "epoch-block";
+      case PersistModel::EpochKernel:
+        return "epoch-kernel";
+    }
+    GPULP_PANIC("bad PersistModel %d", static_cast<int>(model));
+}
+
+PersistModel
+persistModelFromString(const std::string &name)
+{
+    if (name == "lazy")
+        return PersistModel::Lazy;
+    if (name == "eager")
+        return PersistModel::Eager;
+    if (name == "strict")
+        return PersistModel::Strict;
+    if (name == "epoch-block")
+        return PersistModel::EpochBlock;
+    if (name == "epoch-kernel")
+        return PersistModel::EpochKernel;
+    GPULP_FATAL("unknown persistency model '%s' (want lazy, eager, "
+                "strict, epoch-block or epoch-kernel)",
+                name.c_str());
+}
+
 TableKind
 tableKindFromString(const std::string &name)
 {
@@ -126,6 +162,8 @@ applyConfigEnv(LpConfig cfg)
                         lf);
         cfg.load_factor = v;
     }
+    if (const char *persist = std::getenv("GPULP_PERSIST"))
+        cfg.persist = persistModelFromString(persist);
     return cfg;
 }
 
@@ -137,6 +175,10 @@ configLabel(const LpConfig &cfg)
     label += toString(cfg.reduction);
     label += "+";
     label += toString(cfg.lock);
+    if (cfg.persist != PersistModel::Lazy) {
+        label += "+";
+        label += toString(cfg.persist);
+    }
     return label;
 }
 

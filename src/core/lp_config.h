@@ -55,12 +55,33 @@ enum class LockMode : uint8_t {
     NoAtomic,  //!< plain load/compare/store sequences (Sec. IV-D.3)
 };
 
+/**
+ * Which persistency model protects a kernel's persistent stores.
+ *
+ * Lazy is the paper's contribution; Eager is its undo-log baseline
+ * (Sec. I/II). Strict and the two Epoch variants come from "Exploring
+ * Memory Persistency Models for GPUs" (same senior author): strict
+ * persistency orders every persistent store with a flush + fence,
+ * epoch persistency batches flushes and fences only at epoch
+ * boundaries (here: block- or kernel-granularity epochs). See
+ * docs/PERSISTENCY_MODELS.md for the normative semantics and the
+ * recovery guarantee each model earns.
+ */
+enum class PersistModel : uint8_t {
+    Lazy,        //!< LP checksums; nothing flushed (the paper)
+    Eager,       //!< undo log + flush/fence per store + commit flag
+    Strict,      //!< flush + persist barrier after every store
+    EpochBlock,  //!< flushes per store, barriers at block-region end
+    EpochKernel, //!< flushes per store, no barriers until kernel end
+};
+
 /** A point in the LP design space. */
 struct LpConfig {
     ChecksumKind checksum = ChecksumKind::ModularParity;
     ReductionKind reduction = ReductionKind::ParallelShuffle;
     TableKind table = TableKind::GlobalArray;
     LockMode lock = LockMode::LockFree;
+    PersistModel persist = PersistModel::Lazy;
 
     /**
      * Target load factor for hashed tables. The paper keeps quadratic
@@ -98,6 +119,9 @@ const char *toString(TableKind kind);
 /** Human-readable name for a lock mode. */
 const char *toString(LockMode mode);
 
+/** Human-readable name for a persistency model. */
+const char *toString(PersistModel model);
+
 /** Parse "quad" / "cuckoo" / "array" / "bucket2" / "bucket2opt". */
 TableKind tableKindFromString(const std::string &name);
 
@@ -107,8 +131,12 @@ LockMode lockModeFromString(const std::string &name);
 /** Parse "modular" / "parity" / "both". */
 ChecksumKind checksumKindFromString(const std::string &name);
 
+/** Parse "lazy" / "eager" / "strict" / "epoch-block" / "epoch-kernel". */
+PersistModel persistModelFromString(const std::string &name);
+
 /**
- * Overlay the GPULP_TABLE, GPULP_LOCK and GPULP_LOAD_FACTOR environment
+ * Overlay the GPULP_TABLE, GPULP_LOCK, GPULP_LOAD_FACTOR and
+ * GPULP_PERSIST environment
  * variables (when set) on @p cfg. Tools and examples that accept an LP
  * configuration call this so any backend can be selected without a
  * rebuild; comparative benches do NOT, so their side-by-side tables

@@ -1,0 +1,428 @@
+#include "persist.h"
+
+#include <cstring>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace gpulp {
+namespace {
+
+/**
+ * Durable per-block commit flags shared by the flush-based models
+ * (strict/epoch). Host reads go through the NVM view and resets are
+ * persisted — the same discipline the EP bugfixes established; see the
+ * EpRuntime recovery docs for why the volatile arena must not be
+ * trusted.
+ */
+class CommitFlags
+{
+  public:
+    CommitFlags(Device &dev, const LaunchConfig &launch)
+        : dev_(dev), blocks_(launch.numBlocks())
+    {
+        flags_ = dev_.mem().alloc(blocks_ * 4);
+        reset();
+    }
+
+    Addr flagAddr(uint64_t block) const { return flags_ + block * 4; }
+
+    bool
+    isCommittedHost(uint64_t block) const
+    {
+        GPULP_ASSERT(block < blocks_, "block out of range");
+        uint32_t committed;
+        if (NvmCache *nvm = dev_.nvm())
+            nvm->readPersisted(flagAddr(block), 4, &committed);
+        else
+            std::memcpy(&committed, dev_.mem().raw(flagAddr(block)), 4);
+        return committed != 0;
+    }
+
+    void
+    reset()
+    {
+        std::memset(dev_.mem().raw(flags_), 0, blocks_ * 4);
+        if (NvmCache *nvm = dev_.nvm())
+            nvm->persistRange(flags_, blocks_ * 4);
+    }
+
+    uint64_t footprintBytes() const { return blocks_ * 4; }
+
+  private:
+    Device &dev_;
+    uint64_t blocks_;
+    Addr flags_;
+};
+
+/**
+ * Strict persistency: every persistent store is made durable — flush
+ * *and* persist barrier — before the thread proceeds. Strongest
+ * ordering, zero metadata beyond the commit flag, worst stalls.
+ */
+class StrictStrategy : public PersistStrategy
+{
+  public:
+    StrictStrategy(Device &dev, const LaunchConfig &launch)
+        : flags_(dev, launch)
+    {
+    }
+
+    PersistModel model() const override { return PersistModel::Strict; }
+
+    void
+    prepare(ThreadCtx &, PersistAccum &, Addr, uint32_t) override
+    {
+    }
+
+    void
+    publish(ThreadCtx &t, Addr addr) override
+    {
+        t.clwb(addr);
+        t.persistBarrier();
+    }
+
+    void
+    regionEnd(ThreadCtx &t, PersistAccum &) override
+    {
+        // Every store already drained; only the commit flag remains.
+        t.syncthreads();
+        if (t.flatThreadIdx() == 0) {
+            Addr flag = flags_.flagAddr(t.blockRank());
+            t.storeAddr<uint32_t>(flag, 1);
+            t.clwb(flag);
+            t.persistBarrier();
+        }
+    }
+
+    bool
+    isCommittedHost(uint64_t block) const override
+    {
+        return flags_.isCommittedHost(block);
+    }
+
+    void reset() override { flags_.reset(); }
+
+    uint64_t
+    footprintBytes() const override
+    {
+        return flags_.footprintBytes();
+    }
+
+  private:
+    CommitFlags flags_;
+};
+
+/**
+ * Epoch persistency, block-granularity epochs: stores are flushed as
+ * they happen (write-backs overlap with execution) but the persist
+ * barrier — the stall — is paid once, when the block's epoch closes.
+ */
+class EpochBlockStrategy : public PersistStrategy
+{
+  public:
+    EpochBlockStrategy(Device &dev, const LaunchConfig &launch)
+        : flags_(dev, launch)
+    {
+    }
+
+    PersistModel
+    model() const override
+    {
+        return PersistModel::EpochBlock;
+    }
+
+    void
+    prepare(ThreadCtx &, PersistAccum &, Addr, uint32_t) override
+    {
+    }
+
+    void
+    publish(ThreadCtx &t, Addr addr) override
+    {
+        t.clwb(addr);
+    }
+
+    void
+    regionEnd(ThreadCtx &t, PersistAccum &) override
+    {
+        // Close the epoch: drain this thread's flushes, then commit.
+        t.persistBarrier();
+        t.syncthreads();
+        if (t.flatThreadIdx() == 0) {
+            Addr flag = flags_.flagAddr(t.blockRank());
+            t.storeAddr<uint32_t>(flag, 1);
+            t.clwb(flag);
+            t.persistBarrier();
+        }
+    }
+
+    bool
+    isCommittedHost(uint64_t block) const override
+    {
+        return flags_.isCommittedHost(block);
+    }
+
+    void reset() override { flags_.reset(); }
+
+    uint64_t
+    footprintBytes() const override
+    {
+        return flags_.footprintBytes();
+    }
+
+  private:
+    CommitFlags flags_;
+};
+
+/**
+ * Epoch persistency, kernel-granularity epoch: stores are flushed but
+ * no in-kernel persist barrier is ever issued; the single epoch closes
+ * with the kernel. The cheapest flush-based point — and the weakest:
+ * on real hardware nothing orders the commit flag after the data
+ * within the epoch (see docs/PERSISTENCY_MODELS.md for the window the
+ * simulator's synchronous clwb does not model).
+ */
+class EpochKernelStrategy : public PersistStrategy
+{
+  public:
+    EpochKernelStrategy(Device &dev, const LaunchConfig &launch)
+        : flags_(dev, launch)
+    {
+    }
+
+    PersistModel
+    model() const override
+    {
+        return PersistModel::EpochKernel;
+    }
+
+    void
+    prepare(ThreadCtx &, PersistAccum &, Addr, uint32_t) override
+    {
+    }
+
+    void
+    publish(ThreadCtx &t, Addr addr) override
+    {
+        t.clwb(addr);
+    }
+
+    void
+    regionEnd(ThreadCtx &t, PersistAccum &) override
+    {
+        t.syncthreads();
+        if (t.flatThreadIdx() == 0) {
+            Addr flag = flags_.flagAddr(t.blockRank());
+            t.storeAddr<uint32_t>(flag, 1);
+            t.clwb(flag);
+        }
+    }
+
+    bool
+    isCommittedHost(uint64_t block) const override
+    {
+        return flags_.isCommittedHost(block);
+    }
+
+    void reset() override { flags_.reset(); }
+
+    uint64_t
+    footprintBytes() const override
+    {
+        return flags_.footprintBytes();
+    }
+
+  private:
+    CommitFlags flags_;
+};
+
+/** Eager persistency as a strategy: delegates to EpRuntime. */
+class EagerStrategy : public PersistStrategy
+{
+  public:
+    EagerStrategy(Device &dev, const LaunchConfig &launch,
+                  uint64_t undo_entries_per_thread)
+        : ep_(dev, launch, undo_entries_per_thread)
+    {
+    }
+
+    PersistModel model() const override { return PersistModel::Eager; }
+
+    void
+    prepare(ThreadCtx &t, PersistAccum &acc, Addr addr,
+            uint32_t bytes) override
+    {
+        ep_.logOldValue(t, acc.undo, addr, bytes);
+    }
+
+    void
+    publish(ThreadCtx &t, Addr addr) override
+    {
+        t.clwb(addr);
+    }
+
+    void
+    regionEnd(ThreadCtx &t, PersistAccum &) override
+    {
+        ep_.commitRegion(t);
+    }
+
+    bool
+    isCommittedHost(uint64_t block) const override
+    {
+        return ep_.isCommittedHost(block);
+    }
+
+    uint64_t rollback() override { return ep_.recoverUndo(); }
+
+    void reset() override { ep_.reset(); }
+
+    uint64_t footprintBytes() const override
+    {
+        return ep_.footprintBytes();
+    }
+
+    EpRuntime &runtime() { return ep_; }
+
+  private:
+    EpRuntime ep_;
+};
+
+} // namespace
+
+PersistRuntime::PersistRuntime(Device &dev, const LpConfig &cfg,
+                               const LaunchConfig &launch,
+                               uint64_t undo_entries_per_thread)
+    : dev_(dev), cfg_(cfg), launch_(launch)
+{
+    switch (cfg_.persist) {
+      case PersistModel::Lazy:
+        lp_ = std::make_unique<LpRuntime>(dev_, cfg_, launch_);
+        break;
+      case PersistModel::Eager:
+        strategy_ = std::make_unique<EagerStrategy>(
+            dev_, launch_, undo_entries_per_thread);
+        break;
+      case PersistModel::Strict:
+        strategy_ = std::make_unique<StrictStrategy>(dev_, launch_);
+        break;
+      case PersistModel::EpochBlock:
+        strategy_ = std::make_unique<EpochBlockStrategy>(dev_, launch_);
+        break;
+      case PersistModel::EpochKernel:
+        strategy_ = std::make_unique<EpochKernelStrategy>(dev_, launch_);
+        break;
+    }
+}
+
+PersistRuntime::~PersistRuntime() = default;
+
+LpContext
+PersistRuntime::context()
+{
+    if (lp_)
+        return lp_->context();
+    LpContext ctx;
+    ctx.cfg = &cfg_;
+    ctx.strategy = strategy_.get();
+    return ctx;
+}
+
+void
+PersistRuntime::reset()
+{
+    if (lp_)
+        lp_->reset();
+    else
+        strategy_->reset();
+}
+
+uint64_t
+PersistRuntime::footprintBytes() const
+{
+    return lp_ ? lp_->footprintBytes() : strategy_->footprintBytes();
+}
+
+RecoveryReport
+persistRecover(Device &dev, const LaunchConfig &cfg,
+               PersistStrategy &strategy, const KernelFn &region_kernel,
+               uint64_t max_rounds)
+{
+    RecoverySet failed(dev, cfg.numBlocks());
+
+    RecoveryReport report;
+    report.blocks_checked = cfg.numBlocks();
+    bool first_classification = true;
+
+    // Resolve the power failure before reading any durable state (the
+    // persistence domain is frozen while the latch is pending).
+    if (dev.nvm() && dev.nvm()->crashPending())
+        dev.nvm()->crash();
+
+    while (report.rounds < max_rounds) {
+        ++report.rounds;
+        obs::add(obs::Ctr::RecoveryRounds);
+        obs::TraceSpan round_span("recovery_round", "persist_recovery",
+                                  report.rounds, "round");
+
+        // Models with logs undo uncommitted damage first (eager);
+        // resolves any crash that latched during the previous round.
+        strategy.rollback();
+
+        // Classify on the host from the durable commit flags — the
+        // models' whole validation verdict.
+        failed.clearAll();
+        for (uint64_t b = 0; b < cfg.numBlocks(); ++b) {
+            if (!strategy.isCommittedHost(b))
+                failed.markFailedHost(b);
+        }
+        uint64_t round_failed = failed.failedCount();
+        obs::add(obs::Ctr::RecoveryBlocksFlagged, round_failed);
+        obs::observe(obs::Hist::RecoveryRoundFlagged, round_failed);
+        if (first_classification) {
+            report.blocks_failed = round_failed;
+            first_classification = false;
+        }
+        if (round_failed == 0) {
+            report.converged = true;
+            obs::add(obs::Ctr::RecoveryConverged);
+            break;
+        }
+
+        // Re-execute only the failed (idempotent) blocks; the kernel
+        // body re-commits through its strategy's regionEnd.
+        LaunchResult recover = [&] {
+            obs::TraceSpan span("recover", "persist_recovery",
+                                round_failed, "blocks");
+            return dev.launch(cfg, [&](ThreadCtx &t) {
+                if (!failed.isFailed(t, t.blockRank()))
+                    return;
+                region_kernel(t);
+            });
+        }();
+        report.recover_cycles += recover.cycles;
+        if (recover.crashed) {
+            // A second failure mid-recovery: absorb it and reclassify
+            // from the rewound image (the next round's rollback() sees
+            // the pending latch too, but resolve it here so the loop
+            // invariant — durable state only — holds at the top).
+            ++report.crashes_survived;
+            obs::add(obs::Ctr::RecoveryCrashesSurvived);
+            dev.nvm()->crash();
+            continue;
+        }
+        report.blocks_recovered += round_failed;
+        obs::add(obs::Ctr::RecoveryBlocksReexecuted, round_failed);
+
+        // Checkpoint for forward progress, as in the lazy driver.
+        if (dev.nvm())
+            dev.nvm()->persistAll();
+    }
+
+    if (dev.nvm() && !dev.nvm()->crashPending())
+        dev.nvm()->persistAll();
+    return report;
+}
+
+} // namespace gpulp

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * PersistStrategy: the persistency-model matrix over one kernel API.
+ *
+ * The paper positions Lazy Persistency against Eager Persistency; the
+ * companion work "Exploring Memory Persistency Models for GPUs" (same
+ * senior author) widens the space with strict and epoch persistency.
+ * This header makes all of them first-class, selectable points
+ * (LpConfig::persist / GPULP_PERSIST) behind one store protocol, so a
+ * kernel written once against the persistStore* helpers runs — and is
+ * crash-tested — under every model:
+ *
+ *  - lazy:         no flushes; per-thread checksums folded and
+ *                  committed at region end (the paper's scheme);
+ *  - eager:        undo-log entry flushed + fenced before every store,
+ *                  the store's line flushed, durable commit flag;
+ *  - strict:       every persistent store is flushed *and* fenced in
+ *                  program order — maximal ordering, no logging;
+ *  - epoch-block:  stores are flushed as they happen but persist
+ *                  barriers only close the block-level epoch;
+ *  - epoch-kernel: one kernel-wide epoch; flushes drain on their own
+ *                  and no persist barrier is ever issued in-kernel.
+ *
+ * Device-side protocol per protected store: prepare() (before the
+ * mutation; eager logs the old value here), the store itself, then
+ * publish() (after the mutation; flush/fence per the model). Splitting
+ * prepare/publish out of store32() lets atomic claims — MEGA-KV's slot
+ * CAS — get the same coverage as plain stores. regionEnd() closes the
+ * block's region/epoch (collective).
+ *
+ * Host-side, every non-lazy strategy exposes the same recovery
+ * contract the LP path has: a durable per-block commit verdict
+ * (isCommittedHost, read through the NVM view, never the volatile
+ * arena), an optional rollback() (eager's undo), and reset().
+ * persistRecover() is the model-generic recovery driver mirroring
+ * lpValidateAndRecover(). Normative semantics and the guarantee each
+ * model earns: docs/PERSISTENCY_MODELS.md.
+ */
+
+#ifndef GPULP_CORE_PERSIST_H
+#define GPULP_CORE_PERSIST_H
+
+#include <memory>
+
+#include "core/eager.h"
+#include "core/recovery.h"
+#include "core/runtime.h"
+
+namespace gpulp {
+
+/**
+ * Per-thread, register-resident persistency state: the checksum
+ * accumulator (lazy) and the undo-log cursor (eager) — whichever the
+ * active model does not use stays inert. Create one per kernel thread
+ * with makePersistAccum().
+ */
+struct PersistAccum {
+    ChecksumAccum checksums;
+    EpRuntime::ThreadLog undo;
+};
+
+/**
+ * One persistency model's store + commit + recovery protocol.
+ * Instances are per-kernel (they own per-block commit state sized for
+ * the launch); obtain them through PersistRuntime.
+ */
+class PersistStrategy
+{
+  public:
+    virtual ~PersistStrategy() = default;
+
+    /** Model this strategy implements. */
+    virtual PersistModel model() const = 0;
+
+    // Device-side protocol ---------------------------------------------------
+
+    /**
+     * Pre-mutation hook for [addr, addr+bytes): eager durably logs the
+     * old value here (the undo invariant); other models do nothing.
+     * Must be called before an atomic claim (CAS) on @p addr too.
+     */
+    virtual void prepare(ThreadCtx &t, PersistAccum &acc, Addr addr,
+                         uint32_t bytes) = 0;
+
+    /** Post-mutation hook: flush (and, per the model, fence) @p addr's
+     *  line. Counterpart of prepare() for atomics. */
+    virtual void publish(ThreadCtx &t, Addr addr) = 0;
+
+    /** Close the block's region/epoch and commit durably. Collective. */
+    virtual void regionEnd(ThreadCtx &t, PersistAccum &acc) = 0;
+
+    /** prepare + 32-bit store + publish. */
+    void
+    store32(ThreadCtx &t, PersistAccum &acc, Addr addr, uint32_t bits)
+    {
+        prepare(t, acc, addr, 4);
+        t.storeAddr<uint32_t>(addr, bits);
+        publish(t, addr);
+    }
+
+    /** prepare + 16-bit store + publish. */
+    void
+    store16(ThreadCtx &t, PersistAccum &acc, Addr addr, uint16_t bits)
+    {
+        prepare(t, acc, addr, 2);
+        t.storeAddr<uint16_t>(addr, bits);
+        publish(t, addr);
+    }
+
+    /** prepare + float store + publish. */
+    void
+    storeF(ThreadCtx &t, PersistAccum &acc, Addr addr, float value)
+    {
+        prepare(t, acc, addr, 4);
+        t.storeAddr<float>(addr, value);
+        publish(t, addr);
+    }
+
+    // Host-side recovery contract --------------------------------------------
+
+    /** True if @p block's region committed *durably* (NVM view). */
+    virtual bool isCommittedHost(uint64_t block) const = 0;
+
+    /**
+     * Undo the side effects of uncommitted regions where the model
+     * keeps enough state to (eager's undo log). Models whose
+     * uncommitted damage is repaired by re-execution alone return 0.
+     * @return Regions rolled back.
+     */
+    virtual uint64_t rollback() { return 0; }
+
+    /** Clear and durably persist the commit metadata for a fresh run. */
+    virtual void reset() = 0;
+
+    /** Device-memory footprint of the model's metadata. */
+    virtual uint64_t footprintBytes() const = 0;
+};
+
+/**
+ * Host facade over the whole model matrix: constructs the machinery
+ * the configured PersistModel needs (LpRuntime for lazy, EpRuntime for
+ * eager, durable commit flags for strict/epoch) and hands kernels a
+ * ready LpContext. The model-generic superset of LpRuntime.
+ */
+class PersistRuntime
+{
+  public:
+    /**
+     * @param dev Device the kernel will run on.
+     * @param cfg Full configuration; cfg.persist selects the model.
+     * @param launch Grid/block dimensions of the protected kernel.
+     * @param undo_entries_per_thread Eager undo-log capacity per
+     *        thread (ignored by the other models).
+     */
+    PersistRuntime(Device &dev, const LpConfig &cfg,
+                   const LaunchConfig &launch,
+                   uint64_t undo_entries_per_thread = 8);
+    ~PersistRuntime();
+
+    /** The context kernels capture (strategy set iff model != Lazy). */
+    LpContext context();
+
+    /** Model in force. */
+    PersistModel model() const { return cfg_.persist; }
+
+    /** Active strategy, or nullptr under the lazy model. */
+    PersistStrategy *strategy() { return strategy_.get(); }
+
+    /** Lazy machinery, or nullptr under a non-lazy model. */
+    LpRuntime *lazy() { return lp_.get(); }
+
+    /** Clear (and durably persist) all persistency metadata. */
+    void reset();
+
+    /** Device-memory footprint of the model's metadata. */
+    uint64_t footprintBytes() const;
+
+  private:
+    Device &dev_;
+    LpConfig cfg_;
+    LaunchConfig launch_;
+    std::unique_ptr<LpRuntime> lp_;          //!< Lazy only
+    std::unique_ptr<PersistStrategy> strategy_; //!< non-lazy only
+};
+
+/** Fresh per-thread accumulator for whatever model @p lp selects
+ *  (@p lp may be null: un-protected baseline run). */
+inline PersistAccum
+makePersistAccum(const LpContext *lp)
+{
+    PersistAccum acc;
+    acc.checksums = ChecksumAccum(lp ? lp->cfg->checksum
+                                     : ChecksumKind::ModularParity);
+    return acc;
+}
+
+/** True when @p lp protects this kernel with the *lazy* model — i.e.
+ *  checksum folds are live. Baseline and strategy runs return false. */
+inline bool
+lazyProtected(const LpContext *lp)
+{
+    return lp != nullptr && lp->strategy == nullptr;
+}
+
+/**
+ * Model-dispatched persistent float store: plain store for baseline,
+ * store + checksum fold for lazy, the strategy protocol otherwise.
+ * Byte- and timing-identical to the open-coded store+protectFloat
+ * sequence under baseline/lazy.
+ */
+inline void
+persistStoreF(ThreadCtx &t, const LpContext *lp, PersistAccum &acc,
+              ArrayRef<float> arr, uint64_t idx, float value)
+{
+    if (lp && lp->strategy) {
+        lp->strategy->storeF(t, acc, arr.addrOf(idx), value);
+        return;
+    }
+    t.store(arr, idx, value);
+    if (lp)
+        acc.checksums.protectFloat(t, value);
+}
+
+/** Model-dispatched persistent 32-bit store. */
+inline void
+persistStoreU32(ThreadCtx &t, const LpContext *lp, PersistAccum &acc,
+                ArrayRef<uint32_t> arr, uint64_t idx, uint32_t value)
+{
+    if (lp && lp->strategy) {
+        lp->strategy->store32(t, acc, arr.addrOf(idx), value);
+        return;
+    }
+    t.store(arr, idx, value);
+    if (lp)
+        acc.checksums.protectU32(t, value);
+}
+
+/** Model-dispatched persistent 16-bit store; folds the zero-extended
+ *  value under lazy (SAD's uint16 output). */
+inline void
+persistStoreU16(ThreadCtx &t, const LpContext *lp, PersistAccum &acc,
+                ArrayRef<uint16_t> arr, uint64_t idx, uint16_t value)
+{
+    if (lp && lp->strategy) {
+        lp->strategy->store16(t, acc, arr.addrOf(idx), value);
+        return;
+    }
+    t.store(arr, idx, value);
+    if (lp)
+        acc.checksums.protectU32(t, value);
+}
+
+/**
+ * Model-dispatched store that lazy does NOT fold (MEGA-KV folds
+ * post-state key/value pairs decoupled from its store sites); the
+ * non-lazy strategies still owe the store full coverage.
+ */
+inline void
+persistStoreU32NoFold(ThreadCtx &t, const LpContext *lp,
+                      PersistAccum &acc, ArrayRef<uint32_t> arr,
+                      uint64_t idx, uint32_t value)
+{
+    if (lp && lp->strategy) {
+        lp->strategy->store32(t, acc, arr.addrOf(idx), value);
+        return;
+    }
+    t.store(arr, idx, value);
+}
+
+/** Strategy prepare() for a mutation the caller performs itself (an
+ *  atomic claim); no-op for baseline/lazy. Pair with persistPublish. */
+inline void
+persistPrepare(ThreadCtx &t, const LpContext *lp, PersistAccum &acc,
+               Addr addr, uint32_t bytes)
+{
+    if (lp && lp->strategy)
+        lp->strategy->prepare(t, acc, addr, bytes);
+}
+
+/** Strategy publish() counterpart of persistPrepare(). */
+inline void
+persistPublish(ThreadCtx &t, const LpContext *lp, Addr addr)
+{
+    if (lp && lp->strategy)
+        lp->strategy->publish(t, addr);
+}
+
+/** Model-dispatched end-of-region commit. Collective; no-op for the
+ *  un-protected baseline. */
+inline void
+persistRegionEnd(ThreadCtx &t, const LpContext *lp, PersistAccum &acc)
+{
+    if (!lp)
+        return;
+    if (lp->strategy) {
+        lp->strategy->regionEnd(t, acc);
+        return;
+    }
+    lpCommitRegion(t, *lp, acc.checksums);
+}
+
+/**
+ * Model-generic recovery driver for the non-lazy strategies, mirroring
+ * lpValidateAndRecover(): resolve the pending power failure, roll back
+ * what the model can (eager's undo log), host-classify each block's
+ * durable commit flag, re-execute only the failed blocks through
+ * @p region_kernel (which must be idempotent and end with
+ * persistRegionEnd, i.e. the original kernel body), checkpoint, and
+ * repeat until a classification pass finds zero uncommitted blocks.
+ * Crashes striking mid-recovery are absorbed exactly as in the lazy
+ * driver.
+ *
+ * Validation here is host-side flag inspection (the models' commit
+ * flags are their whole verdict), so RecoveryReport::validate_cycles
+ * stays 0 and blocks_failed counts the first pass's uncommitted
+ * blocks.
+ */
+RecoveryReport persistRecover(Device &dev, const LaunchConfig &cfg,
+                              PersistStrategy &strategy,
+                              const KernelFn &region_kernel,
+                              uint64_t max_rounds = 32);
+
+} // namespace gpulp
+
+#endif // GPULP_CORE_PERSIST_H

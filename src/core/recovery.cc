@@ -40,6 +40,15 @@ RecoverySet::isFailedHost(uint64_t block) const
 }
 
 void
+RecoverySet::markFailedHost(uint64_t block)
+{
+    GPULP_ASSERT(block < num_blocks_, "block %llu out of range",
+                 static_cast<unsigned long long>(block));
+    uint32_t one = 1;
+    std::memcpy(dev_.mem().raw(flags_ + block * 4), &one, 4);
+}
+
+void
 RecoverySet::clearAll()
 {
     std::memset(dev_.mem().raw(flags_), 0, num_blocks_ * 4);

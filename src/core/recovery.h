@@ -48,6 +48,10 @@ class RecoverySet
     /** Host-side flag read for reporting. */
     bool isFailedHost(uint64_t block) const;
 
+    /** Host-side: mark a block failed (non-lazy recovery drivers
+     *  classify commit flags on the host before re-execution). */
+    void markFailedHost(uint64_t block);
+
     /** Host-side: clear all flags. */
     void clearAll();
 

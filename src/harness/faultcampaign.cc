@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/prng.h"
+#include "core/persist.h"
 #include "core/recovery.h"
 #include "obs/trace.h"
 #include "core/runtime.h"
@@ -16,16 +17,19 @@ namespace gpulp {
 
 namespace {
 
-/** Per-cell seed so cells draw independent random crash points. */
+/** Per-cell seed so cells draw independent random crash points.
+ *  PersistModel::Lazy contributes 0, keeping lazy cells' crash points
+ *  identical to the pre-model-matrix campaign. */
 uint64_t
 mixSeed(uint64_t seed, const std::string &workload, TableKind table,
-        ChecksumKind kind)
+        ChecksumKind kind, PersistModel model)
 {
     uint64_t h = seed ^ 0x243f6a8885a308d3ull;
     for (char c : workload)
         h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
     h ^= (static_cast<uint64_t>(table) + 1) << 32;
     h ^= (static_cast<uint64_t>(kind) + 1) << 40;
+    h ^= static_cast<uint64_t>(model) << 48;
     return h;
 }
 
@@ -56,25 +60,34 @@ runTrial(Device &dev, NvmCache &nvm, Workload &w, const LpContext &ctx,
     dev.launch(launch, [&](ThreadCtx &t) { w.kernel(t, &ctx); });
     trial.torn_lines = nvm.crash();
 
-    // Ground truth + validation verdict on the crashed image, before
-    // recovery runs.
-    BlockClassification cls = classifyAgainstGolden(
-        dev, launch, w, ctx, block_spans, golden_blocks);
+    // Ground truth + the model's own failure verdict on the crashed
+    // image, before recovery runs. Lazy asks the checksum validation
+    // kernel; the commit-flag models ask the durable flag directly.
+    BlockClassification cls =
+        ctx.strategy != nullptr
+            ? classifyByCommitFlags(dev, launch, *ctx.strategy,
+                                    block_spans, golden_blocks)
+            : classifyAgainstGolden(dev, launch, w, ctx, block_spans,
+                                    golden_blocks);
     trial.corrupt_blocks = cls.corrupt_blocks;
     trial.flagged_blocks = cls.flagged_blocks;
     trial.true_fails = cls.true_fails;
     trial.false_fails = cls.false_fails;
     trial.false_passes = cls.false_passes;
 
-    RecoveryReport rep = lpValidateAndRecover(
-        dev, launch, ctx,
-        [&](ThreadCtx &t, RecoverySet &failed) {
-            w.validation(t, ctx, failed);
-        },
-        [&](ThreadCtx &t, const RecoverySet &failed) {
-            if (failed.isFailedHost(t.blockRank()))
-                w.kernel(t, &ctx);
-        });
+    RecoveryReport rep =
+        ctx.strategy != nullptr
+            ? persistRecover(dev, launch, *ctx.strategy,
+                             [&](ThreadCtx &t) { w.kernel(t, &ctx); })
+            : lpValidateAndRecover(
+                  dev, launch, ctx,
+                  [&](ThreadCtx &t, RecoverySet &failed) {
+                      w.validation(t, ctx, failed);
+                  },
+                  [&](ThreadCtx &t, const RecoverySet &failed) {
+                      if (failed.isFailedHost(t.blockRank()))
+                          w.kernel(t, &ctx);
+                  });
     trial.blocks_recovered = rep.blocks_recovered;
     trial.recovery_rounds = rep.rounds;
     trial.crashes_survived = rep.crashes_survived;
@@ -98,7 +111,8 @@ runTrial(Device &dev, NvmCache &nvm, Workload &w, const LpContext &ctx,
 
 CellResult
 runCell(const CampaignOptions &opts, const std::string &name,
-        TableKind table, ChecksumKind kind, uint32_t *workers_out)
+        PersistModel model, TableKind table, ChecksumKind kind,
+        uint32_t *workers_out)
 {
     DeviceParams dparams;
     dparams.num_workers = opts.num_workers;
@@ -127,8 +141,13 @@ runCell(const CampaignOptions &opts, const std::string &name,
 
     const LaunchConfig launch = w->launchConfig();
     const uint64_t num_blocks = launch.numBlocks();
-    LpRuntime lp(dev, campaignCellConfig(*w, table, kind), launch);
-    LpContext ctx = lp.context();
+    LpConfig cfg = campaignCellConfig(*w, table, kind);
+    cfg.persist = model;
+    // For Lazy this wraps the usual LpRuntime; the other models build
+    // their strategy (commit flags, and for eager an undo log sized by
+    // the workload's worst-case store count) instead.
+    PersistRuntime pr(dev, cfg, launch, w->persistentStoresPerThread());
+    LpContext ctx = pr.context();
 
     std::vector<std::vector<OutputSpan>> block_spans(num_blocks);
     for (uint64_t b = 0; b < num_blocks; ++b) {
@@ -162,12 +181,13 @@ runCell(const CampaignOptions &opts, const std::string &name,
 
     CellResult cell;
     cell.workload = name;
+    cell.model = model;
     cell.table = table;
     cell.checksum = kind;
     cell.num_blocks = num_blocks;
     cell.golden_stores = golden_stores;
 
-    Prng rng(mixSeed(opts.seed, name, table, kind));
+    Prng rng(mixSeed(opts.seed, name, table, kind, model));
     for (uint64_t point : pickCrashPoints(opts.grid_points,
                                           opts.random_points,
                                           golden_stores, rng)) {
@@ -285,6 +305,33 @@ classifyAgainstGolden(
     return cls;
 }
 
+BlockClassification
+classifyByCommitFlags(
+    Device &dev, const LaunchConfig &launch,
+    const PersistStrategy &strategy,
+    const std::vector<std::vector<OutputSpan>> &block_spans,
+    const std::vector<std::vector<uint8_t>> &golden_blocks)
+{
+    const uint64_t num_blocks = launch.numBlocks();
+    BlockClassification cls;
+    for (uint64_t b = 0; b < num_blocks; ++b) {
+        bool corrupt =
+            readOutputSpans(dev.mem(), block_spans[b]) != golden_blocks[b];
+        // The durable commit verdict — what the recovery driver itself
+        // reads after a reboot, not the (possibly newer) volatile flag.
+        bool flagged = !strategy.isCommittedHost(b);
+        cls.corrupt_blocks += corrupt;
+        cls.flagged_blocks += flagged;
+        if (corrupt && flagged)
+            ++cls.true_fails;
+        else if (!corrupt && flagged)
+            ++cls.false_fails;
+        else if (corrupt && !flagged)
+            ++cls.false_passes;
+    }
+    return cls;
+}
+
 uint64_t
 CellResult::falsePasses() const
 {
@@ -319,16 +366,34 @@ runFaultCampaign(const CampaignOptions &opts)
         opts.checksums.empty()) {
         GPULP_FATAL("campaign needs >= 1 workload, table and checksum");
     }
+    if (opts.models.empty())
+        GPULP_FATAL("campaign needs >= 1 persistency model");
 
     CampaignResult result;
     result.options = opts;
     obs::TraceSpan span("fault_campaign", "harness");
     for (const std::string &name : opts.workloads) {
-        for (TableKind table : opts.tables) {
-            for (ChecksumKind kind : opts.checksums) {
+        for (PersistModel model : opts.models) {
+            if (model == PersistModel::Lazy) {
+                // Only the lazy model has a checksum store to sweep.
+                for (TableKind table : opts.tables) {
+                    for (ChecksumKind kind : opts.checksums) {
+                        obs::TraceSpan cell_span("campaign_cell",
+                                                 "harness");
+                        result.cells.push_back(
+                            runCell(opts, name, model, table, kind,
+                                    &result.workers));
+                    }
+                }
+            } else {
+                // eager/strict/epoch-* carry no table or checksum; one
+                // cell per workload (the recorded table/checksum are
+                // the defaults and purely informational).
                 obs::TraceSpan cell_span("campaign_cell", "harness");
-                result.cells.push_back(runCell(opts, name, table, kind,
-                                               &result.workers));
+                result.cells.push_back(
+                    runCell(opts, name, model, TableKind::GlobalArray,
+                            ChecksumKind::ModularParity,
+                            &result.workers));
             }
         }
     }
@@ -356,6 +421,8 @@ writeCampaignJson(const CampaignResult &result, std::FILE *out)
         std::fprintf(out, "    {\n");
         std::fprintf(out, "      \"workload\": \"%s\",\n",
                      cell.workload.c_str());
+        std::fprintf(out, "      \"model\": \"%s\",\n",
+                     toString(cell.model));
         std::fprintf(out, "      \"table\": \"%s\",\n",
                      toString(cell.table));
         std::fprintf(out, "      \"checksum\": \"%s\",\n",

@@ -6,25 +6,31 @@
  * kernels *survive crashes*: validation recomputes per-block checksums
  * against the store and recovery re-executes exactly the failed blocks
  * (Sec. II-A, IV-A, Listing 7). This harness turns that claim into a
- * testable statement. For every campaign cell — a (workload, checksum
- * store, checksum kind) triple — it:
+ * testable statement. For every campaign cell — a (workload,
+ * persistency model, checksum store, checksum kind) tuple — it:
  *
- *  1. runs the LP kernel crash-free and snapshots the golden output;
+ *  1. runs the protected kernel crash-free and snapshots the golden
+ *     output;
  *  2. sweeps crash points over the observed-store count: a
  *     deterministic grid of fractions plus Prng-seeded random points;
  *  3. for each point: re-arms NvmCache::crashAfterStores(), runs the
  *     kernel to the crash, rewinds to the persisted image, and
  *     byte-diffs every block's persistent output against the golden
  *     run — ground truth for which blocks are actually corrupt;
- *  4. runs a validation pass and classifies each block:
+ *  4. classifies each block by crossing the ground truth with the
+ *     model's own failure verdict (lazy: the checksum validation
+ *     kernel; eager/strict/epoch: the durable per-block commit flag):
  *       - true fail:   corrupt and flagged (recovery will repair it);
- *       - false fail:  intact but flagged (checksum entry did not
- *                      persist; wasted re-execution, still correct);
+ *       - false fail:  intact but flagged (checksum entry or commit
+ *                      flag did not persist; wasted re-execution,
+ *                      still correct);
  *       - false pass:  corrupt but NOT flagged — silent corruption,
- *                      the one outcome that breaks the paper's
+ *                      the one outcome that breaks the model's
  *                      guarantee;
- *  5. runs the crash-tolerant validate/recover driver and re-diffs the
- *     recovered output against golden.
+ *  5. runs the model's crash-tolerant recovery driver
+ *     (lpValidateAndRecover for lazy, persistRecover — with undo-log
+ *     rollback for eager — otherwise) and re-diffs the recovered
+ *     output against golden.
  *
  * A campaign passes iff every trial converged with zero false-passes
  * and a byte-identical durable output. runFaultCampaign() is
@@ -48,6 +54,7 @@ namespace gpulp {
 
 class Device;
 class GlobalMemory;
+class PersistStrategy;
 class Prng;
 class Workload;
 struct LpContext;
@@ -90,6 +97,11 @@ struct CampaignOptions {
     /** Checksum kinds to sweep. */
     std::vector<ChecksumKind> checksums = {ChecksumKind::ModularParity};
 
+    /** Persistency models to sweep. The lazy model crosses with every
+     *  (table, checksum) pair; the other models carry no checksum
+     *  store, so each contributes exactly one cell per workload. */
+    std::vector<PersistModel> models = {PersistModel::Lazy};
+
     /**
      * Optional schedule policy installed on every cell's device (empty
      * = the production deterministic scheduler). Lets the campaign's
@@ -119,9 +131,12 @@ struct TrialResult {
     bool verify_ok = false;       //!< workload host-reference check
 };
 
-/** One (workload, table, checksum) sweep. */
+/** One (workload, model, table, checksum) sweep. */
 struct CellResult {
     std::string workload;
+    /** Persistency model the cell ran under; table/checksum only
+     *  describe the configuration when this is PersistModel::Lazy. */
+    PersistModel model = PersistModel::Lazy;
     TableKind table = TableKind::GlobalArray;
     ChecksumKind checksum = ChecksumKind::ModularParity;
     uint64_t num_blocks = 0;
@@ -236,6 +251,19 @@ struct BlockClassification {
 BlockClassification classifyAgainstGolden(
     Device &dev, const LaunchConfig &launch, Workload &w,
     const LpContext &ctx,
+    const std::vector<std::vector<OutputSpan>> &block_spans,
+    const std::vector<std::vector<uint8_t>> &golden_blocks);
+
+/**
+ * Ground-truth classification for the commit-flag models (eager,
+ * strict, epoch-*): byte-diff every block's spans against
+ * @p golden_blocks and cross with @p strategy's *durable* commit
+ * verdict — a block is flagged iff its flag is absent from the
+ * persisted image, exactly what recovery would decide after a reboot.
+ */
+BlockClassification classifyByCommitFlags(
+    Device &dev, const LaunchConfig &launch,
+    const PersistStrategy &strategy,
     const std::vector<std::vector<OutputSpan>> &block_spans,
     const std::vector<std::vector<uint8_t>> &golden_blocks);
 

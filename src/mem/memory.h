@@ -166,6 +166,33 @@ class GlobalMemory
     std::mutex &rmwMutex(Addr addr) { return rmw_locks_.forKey(addr >> 2); }
 
     /**
+     * Copy @p len bytes at @p addr out of the arena with relaxed
+     * word-atomic loads. Device stores land as relaxed host atomics
+     * (see write()), so a bulk read that can run concurrently with
+     * kernel execution — an NVM line write-back from a clwb or an
+     * eviction — must not memcpy the arena: each word is read
+     * untorn, observing either the old or the new value.
+     */
+    void
+    copyOutAtomic(Addr addr, size_t len, void *dst) const
+    {
+        checkRange(addr, len);
+        auto *out = static_cast<char *>(dst);
+        size_t i = 0;
+        for (; (addr + i) % 8 != 0 && i < len; ++i)
+            atomicByteLoad(addr + i, out + i);
+        for (; i + 8 <= len; i += 8) {
+            auto *p = reinterpret_cast<uint64_t *>(
+                const_cast<char *>(data_.data() + addr + i));
+            uint64_t w =
+                std::atomic_ref<uint64_t>(*p).load(std::memory_order_relaxed);
+            std::memcpy(out + i, &w, 8);
+        }
+        for (; i < len; ++i)
+            atomicByteLoad(addr + i, out + i);
+    }
+
+    /**
      * Raw pointer into the arena; bypasses the observer. Use only for
      * host-side initialization followed by an explicit persist, or for
      * verification reads.
@@ -176,6 +203,16 @@ class GlobalMemory
     const char *raw(Addr addr) const { return data_.data() + addr; }
 
   private:
+    void
+    atomicByteLoad(Addr addr, char *out) const
+    {
+        auto *p = reinterpret_cast<uint8_t *>(
+            const_cast<char *>(data_.data() + addr));
+        uint8_t b =
+            std::atomic_ref<uint8_t>(*p).load(std::memory_order_relaxed);
+        std::memcpy(out, &b, 1);
+    }
+
     template <size_t Bytes>
     using WordFor = std::conditional_t<
         Bytes == 1, uint8_t,

@@ -144,9 +144,12 @@ NvmCache::writebackLine(uint64_t tag)
     if (start >= used)
         return; // line beyond the allocated region; nothing meaningful
     size_t len = std::min(params_.line_bytes, used - start);
-    std::memcpy(shadow_.data() + start, mem_.raw(start), len);
+    // Word-atomic copy: a clwb- or eviction-triggered write-back can
+    // run while other blocks store into the same line.
+    mem_.copyOutAtomic(start, len, shadow_.data() + start);
     if (log_)
-        log_->append(start, mem_.raw(start), static_cast<uint32_t>(len));
+        log_->append(start, shadow_.data() + start,
+                     static_cast<uint32_t>(len));
 }
 
 void
@@ -287,6 +290,41 @@ NvmCache::flushRange(Addr addr, size_t bytes)
         }
     }
     return flushed;
+}
+
+void
+NvmCache::persistRange(Addr addr, size_t bytes)
+{
+    GPULP_ASSERT(bytes > 0, "empty persist range");
+    GPULP_ASSERT(addr + bytes <= shadow_.size(), "persistRange OOB");
+    std::lock_guard<std::mutex> lk(mu_);
+    if (crashPending())
+        return; // frozen: see onStore()
+    const size_t used = mem_.used();
+    uint64_t first = addr / params_.line_bytes;
+    uint64_t last = (addr + bytes - 1) / params_.line_bytes;
+    for (uint64_t tag = first; tag <= last; ++tag) {
+        // Clean any cached copy so a later eviction cannot re-publish
+        // stale contents over what we persist here.
+        size_t set = static_cast<size_t>(tag % sets_);
+        Line *ways = &lines_[set * params_.associativity];
+        for (size_t w = 0; w < params_.associativity; ++w) {
+            if (ways[w].valid && ways[w].tag == tag && ways[w].dirty)
+                ways[w].dirty = false;
+        }
+        Addr start = lineAddr(tag);
+        if (start >= used)
+            continue;
+        size_t len = std::min(params_.line_bytes, used - start);
+        if (std::memcmp(shadow_.data() + start, mem_.raw(start), len) !=
+            0) {
+            writebackLine(tag);
+            ++stats_.flushed_lines;
+            obs::add(obs::Ctr::NvmFlushedLines);
+        }
+    }
+    if (log_)
+        log_->flush();
 }
 
 void

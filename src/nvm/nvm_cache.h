@@ -177,6 +177,17 @@ class NvmCache : public MemObserver
      */
     uint64_t flushRange(Addr addr, size_t bytes);
 
+    /**
+     * Make [addr, addr+bytes) durable regardless of how it was written:
+     * cached dirty lines in the range are cleaned, and any line whose
+     * arena bytes diverge from the shadow is published (host raw()
+     * writes never go through the observer, so a plain flushRange()
+     * would miss them). The targeted counterpart of persistAll() —
+     * recovery metadata resets use it so clearing a commit flag is as
+     * durable as setting one was. No-op while a crash is pending.
+     */
+    void persistRange(Addr addr, size_t bytes);
+
     // Crash injection --------------------------------------------------------
 
     /** Latch crashPending() after @p stores more observed stores. */

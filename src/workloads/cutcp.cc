@@ -51,7 +51,7 @@ CutcpWorkload::setup(Device &dev)
 void
 CutcpWorkload::kernel(ThreadCtx &t, const LpContext *lp)
 {
-    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+    PersistAccum acc = makePersistAccum(lp);
 
     // Atoms are staged in shared memory once per block, as the Parboil
     // kernel does.
@@ -75,11 +75,8 @@ CutcpWorkload::kernel(ThreadCtx &t, const LpContext *lp)
             sum += sh_q.get(a) / std::sqrt(d2 + 0.25f);
         t.compute(kChargePerAtom);
     }
-    t.store(pot_, p, sum);
-    if (lp) {
-        acc.protectFloat(t, sum);
-        lpCommitRegion(t, *lp, acc);
-    }
+    persistStoreF(t, lp, acc, pot_, p, sum);
+    persistRegionEnd(t, lp, acc);
 }
 
 void

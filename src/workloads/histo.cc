@@ -53,7 +53,7 @@ HistoWorkload::setup(Device &dev)
 void
 HistoWorkload::kernel(ThreadCtx &t, const LpContext *lp)
 {
-    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+    PersistAccum acc = makePersistAccum(lp);
 
     chargeBlockJitter(t, kJitterSpan);
     auto sh_hist = t.sharedArray<uint32_t>(0, kBins);
@@ -80,12 +80,9 @@ HistoWorkload::kernel(ThreadCtx &t, const LpContext *lp)
         uint32_t count = sh_hist.get(bin);
         if (count > kSaturation)
             count = kSaturation;
-        t.store(partial_, block * kBins + bin, count);
-        if (lp)
-            acc.protectU32(t, count);
+        persistStoreU32(t, lp, acc, partial_, block * kBins + bin, count);
     }
-    if (lp)
-        lpCommitRegion(t, *lp, acc);
+    persistRegionEnd(t, lp, acc);
 }
 
 void

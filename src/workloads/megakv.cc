@@ -67,7 +67,7 @@ MegaKv::stageKeys(const std::vector<uint32_t> &keys)
 void
 MegaKv::insertKernel(ThreadCtx &t, const LpContext *lp)
 {
-    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+    PersistAccum acc = makePersistAccum(lp);
 
     const uint32_t op = static_cast<uint32_t>(t.globalThreadIdx());
     uint32_t key = t.load(op_keys_, op);
@@ -83,7 +83,8 @@ MegaKv::insertKernel(ThreadCtx &t, const LpContext *lp)
     for (uint32_t way = 0; way < kWays; ++way) {
         uint64_t slot = uint64_t{bucket} * kWays + way;
         if (t.load(keys_, slot) == key) {
-            t.store(values_, slot, value); // update in place
+            // Update in place (not folded: lazy folds post-state below).
+            persistStoreU32NoFold(t, lp, acc, values_, slot, value);
             status = kKvUpdated;
             break;
         }
@@ -93,30 +94,37 @@ MegaKv::insertKernel(ThreadCtx &t, const LpContext *lp)
         uint64_t slot = uint64_t{bucket} * kWays + way;
         if (t.load(keys_, slot) != 0)
             continue;
+        // The atomic claim gets the same coverage as a plain store:
+        // prepare before the CAS (eager logs the slot's old key —
+        // benign on a failed CAS, since the ordered-region declaration
+        // means a cross-block race cannot slip a foreign claim between
+        // the log read and the CAS), publish after a successful one.
+        persistPrepare(t, lp, acc, keys_.addrOf(slot), 4);
         uint32_t old = t.atomicCAS(keys_.addrOf(slot), 0, key);
         if (old == 0 || old == key) {
-            t.store(values_, slot, value);
+            persistPublish(t, lp, keys_.addrOf(slot));
+            persistStoreU32NoFold(t, lp, acc, values_, slot, value);
             status = old == 0 ? kKvHit : kKvUpdated;
         }
         // Otherwise the slot raced away; keep scanning this bucket.
     }
-    t.store(statuses_, op, status);
-    if (lp) {
+    persistStoreU32NoFold(t, lp, acc, statuses_, op, status);
+    if (lazyProtected(lp)) {
         // Fold the post-state actually left in the table: a dropped
         // insert leaves the key absent, and validation will recompute
         // 0 for it — an application-level miss, not a checksum
         // mismatch. Folding the operand value here would turn every
         // full bucket into a false persistency failure.
-        acc.protectU32(t, key);
-        acc.protectU32(t, status == kKvMiss ? 0u : value);
-        lpCommitRegion(t, *lp, acc);
+        acc.checksums.protectU32(t, key);
+        acc.checksums.protectU32(t, status == kKvMiss ? 0u : value);
     }
+    persistRegionEnd(t, lp, acc);
 }
 
 void
 MegaKv::searchKernel(ThreadCtx &t, const LpContext *lp)
 {
-    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+    PersistAccum acc = makePersistAccum(lp);
 
     const uint32_t op = static_cast<uint32_t>(t.globalThreadIdx());
     uint32_t key = t.load(op_keys_, op);
@@ -133,21 +141,21 @@ MegaKv::searchKernel(ThreadCtx &t, const LpContext *lp)
             break;
         }
     }
-    t.store(results_, op, value);
+    persistStoreU32NoFold(t, lp, acc, results_, op, value);
     // An explicit presence bit: a stored value of 0 (status kKvHit,
     // result 0) is not the same answer as "key absent" (status kKvMiss).
-    t.store(statuses_, op, status);
-    if (lp) {
-        acc.protectU32(t, status);
-        acc.protectU32(t, value);
-        lpCommitRegion(t, *lp, acc);
+    persistStoreU32NoFold(t, lp, acc, statuses_, op, status);
+    if (lazyProtected(lp)) {
+        acc.checksums.protectU32(t, status);
+        acc.checksums.protectU32(t, value);
     }
+    persistRegionEnd(t, lp, acc);
 }
 
 void
 MegaKv::eraseKernel(ThreadCtx &t, const LpContext *lp)
 {
-    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+    PersistAccum acc = makePersistAccum(lp);
 
     const uint32_t op = static_cast<uint32_t>(t.globalThreadIdx());
     uint32_t key = t.load(op_keys_, op);
@@ -158,23 +166,23 @@ MegaKv::eraseKernel(ThreadCtx &t, const LpContext *lp)
     for (uint32_t way = 0; way < kWays; ++way) {
         uint64_t slot = uint64_t{bucket} * kWays + way;
         if (t.load(keys_, slot) == key) {
-            t.store(keys_, slot, 0u);
-            t.store(values_, slot, 0u);
+            persistStoreU32NoFold(t, lp, acc, keys_, slot, 0u);
+            persistStoreU32NoFold(t, lp, acc, values_, slot, 0u);
             status = kKvHit;
             break;
         }
     }
-    t.store(statuses_, op, status);
-    if (lp) {
+    persistStoreU32NoFold(t, lp, acc, statuses_, op, status);
+    if (lazyProtected(lp)) {
         // Fold the key and its post-erase presence. Unlike insert's
         // drop path this is 0 on *both* outcomes — erased or never
         // there, the key is absent afterwards — which is exactly what
         // validateErases recomputes, so the unconditional fold is
         // honest here.
-        acc.protectU32(t, key);
-        acc.protectU32(t, 0u);
-        lpCommitRegion(t, *lp, acc);
+        acc.checksums.protectU32(t, key);
+        acc.checksums.protectU32(t, 0u);
     }
+    persistRegionEnd(t, lp, acc);
 }
 
 void

@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/persist.h"
 #include "core/recovery.h"
 #include "core/runtime.h"
 #include "sim/device.h"
@@ -62,6 +63,10 @@ class MegaKv
   public:
     static constexpr uint32_t kWays = 8;
     static constexpr uint32_t kThreads = 128;
+    /** Worst-case persistent stores (incl. CAS claims) one thread of a
+     *  batch kernel performs — sizes the eager undo log: up to kWays
+     *  contended CAS attempts plus a value and a status store. */
+    static constexpr uint32_t kMaxPersistStoresPerThread = kWays + 2;
     static constexpr uint32_t kChargeInsert = 5800;
     static constexpr uint32_t kChargeSearch = 3400;
     static constexpr uint32_t kChargeErase = 2200;

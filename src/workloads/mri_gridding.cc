@@ -61,7 +61,7 @@ MriGriddingWorkload::setup(Device &dev)
 void
 MriGriddingWorkload::kernel(ThreadCtx &t, const LpContext *lp)
 {
-    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+    PersistAccum acc = makePersistAccum(lp);
 
     chargeBlockJitter(t, kJitterSpan);
     const uint64_t block = t.blockRank();
@@ -75,12 +75,10 @@ MriGriddingWorkload::kernel(ThreadCtx &t, const LpContext *lp)
             sum += t.load(sample_val_, idx) * weightOf(d);
             t.compute(kChargePerSample);
         }
-        t.store(grid_, block * kCellsPerBlock + cell, sum);
-        if (lp)
-            acc.protectFloat(t, sum);
+        persistStoreF(t, lp, acc, grid_, block * kCellsPerBlock + cell,
+                      sum);
     }
-    if (lp)
-        lpCommitRegion(t, *lp, acc);
+    persistRegionEnd(t, lp, acc);
 }
 
 void

@@ -46,6 +46,11 @@ class MriGriddingWorkload : public Workload
                     RecoverySet &failed) override;
     bool verify(std::string *why = nullptr) const override;
     uint64_t outputBytes() const override;
+    uint64_t
+    persistentStoresPerThread() const override
+    {
+        return kCellsPerBlock / kThreads;
+    }
     double quadLoadFactor() const override { return 0.87; }
     double cuckooLoadFactor() const override { return 0.35; }
 

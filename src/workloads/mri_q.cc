@@ -52,7 +52,7 @@ MriQWorkload::setup(Device &dev)
 void
 MriQWorkload::kernel(ThreadCtx &t, const LpContext *lp)
 {
-    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+    PersistAccum acc = makePersistAccum(lp);
 
     // The trajectory is staged in shared memory once per block.
     chargeBlockJitter(t, kJitterSpan);
@@ -74,13 +74,9 @@ MriQWorkload::kernel(ThreadCtx &t, const LpContext *lp)
         sum_i += sh_phi.get(s) * std::sin(arg);
         t.compute(kChargePerSample);
     }
-    t.store(qr_, v, sum_r);
-    t.store(qi_, v, sum_i);
-    if (lp) {
-        acc.protectFloat(t, sum_r);
-        acc.protectFloat(t, sum_i);
-        lpCommitRegion(t, *lp, acc);
-    }
+    persistStoreF(t, lp, acc, qr_, v, sum_r);
+    persistStoreF(t, lp, acc, qi_, v, sum_i);
+    persistRegionEnd(t, lp, acc);
 }
 
 void

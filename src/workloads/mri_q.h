@@ -41,6 +41,7 @@ class MriQWorkload : public Workload
                     RecoverySet &failed) override;
     bool verify(std::string *why = nullptr) const override;
     uint64_t outputBytes() const override;
+    uint64_t persistentStoresPerThread() const override { return 2; }
     std::vector<OutputSpan> outputSpans() const override;
     std::vector<OutputSpan> blockOutputSpans(uint64_t rank) const override;
     double quadLoadFactor() const override { return 0.19; }

@@ -66,7 +66,7 @@ SadWorkload::setup(Device &dev)
 void
 SadWorkload::kernel(ThreadCtx &t, const LpContext *lp)
 {
-    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+    PersistAccum acc = makePersistAccum(lp);
 
     chargeBlockJitter(t, kJitterSpan);
     const uint64_t pos = t.globalThreadIdx();
@@ -80,11 +80,8 @@ SadWorkload::kernel(ThreadCtx &t, const LpContext *lp)
     }
     t.compute(kChargePerThread);
     uint16_t clipped = static_cast<uint16_t>(sum);
-    t.store(sad_, pos, clipped);
-    if (lp) {
-        acc.protectU32(t, clipped);
-        lpCommitRegion(t, *lp, acc);
-    }
+    persistStoreU16(t, lp, acc, sad_, pos, clipped);
+    persistRegionEnd(t, lp, acc);
 }
 
 void

@@ -50,7 +50,7 @@ SpmvWorkload::setup(Device &dev)
 void
 SpmvWorkload::kernel(ThreadCtx &t, const LpContext *lp)
 {
-    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+    PersistAccum acc = makePersistAccum(lp);
 
     chargeBlockJitter(t, kJitterSpan);
     const uint64_t row = t.globalThreadIdx();
@@ -61,11 +61,8 @@ SpmvWorkload::kernel(ThreadCtx &t, const LpContext *lp)
         sum += t.load(values_, idx) * t.load(x_, col);
         t.compute(kChargePerNnz);
     }
-    t.store(y_, row, sum);
-    if (lp) {
-        acc.protectFloat(t, sum);
-        lpCommitRegion(t, *lp, acc);
-    }
+    persistStoreF(t, lp, acc, y_, row, sum);
+    persistRegionEnd(t, lp, acc);
 }
 
 void

@@ -49,7 +49,7 @@ TmmWorkload::setup(Device &dev)
 void
 TmmWorkload::kernel(ThreadCtx &t, const LpContext *lp)
 {
-    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+    PersistAccum acc = makePersistAccum(lp);
 
     chargeBlockJitter(t, kJitterSpan);
     auto tile_a = t.sharedArray<float>(0, kTile * kTile);
@@ -75,11 +75,8 @@ TmmWorkload::kernel(ThreadCtx &t, const LpContext *lp)
         t.syncthreads();
     }
 
-    t.store(c_, uint64_t{row} * n_ + col, sum);
-    if (lp) {
-        acc.protectFloat(t, sum);
-        lpCommitRegion(t, *lp, acc);
-    }
+    persistStoreF(t, lp, acc, c_, uint64_t{row} * n_ + col, sum);
+    persistRegionEnd(t, lp, acc);
 }
 
 void

@@ -71,7 +71,7 @@ TpacfWorkload::setup(Device &dev)
 void
 TpacfWorkload::kernel(ThreadCtx &t, const LpContext *lp)
 {
-    ChecksumAccum acc(lp ? lp->cfg->checksum : ChecksumKind::ModularParity);
+    PersistAccum acc = makePersistAccum(lp);
 
     chargeBlockJitter(t, kJitterSpan);
     auto sh_hist = t.sharedArray<uint32_t>(0, kBins);
@@ -103,12 +103,9 @@ TpacfWorkload::kernel(ThreadCtx &t, const LpContext *lp)
     // Publish the block's partial histogram (the persistent output).
     for (uint32_t bin = tid; bin < kBins; bin += kThreads) {
         uint32_t count = sh_hist.get(bin);
-        t.store(hist_, block * kBins + bin, count);
-        if (lp)
-            acc.protectU32(t, count);
+        persistStoreU32(t, lp, acc, hist_, block * kBins + bin, count);
     }
-    if (lp)
-        lpCommitRegion(t, *lp, acc);
+    persistRegionEnd(t, lp, acc);
 }
 
 void

@@ -38,6 +38,21 @@ runWithLp(Device &dev, Workload &w, LpRuntime &lp)
                       [&](ThreadCtx &t) { w.kernel(t, &ctx); });
 }
 
+LaunchResult
+runWithPersist(Device &dev, Workload &w, PersistRuntime &pr)
+{
+    LpContext ctx = pr.context();
+    return dev.launch(w.launchConfig(),
+                      [&](ThreadCtx &t) { w.kernel(t, &ctx); });
+}
+
+std::unique_ptr<PersistRuntime>
+makePersistRuntime(Device &dev, const LpConfig &cfg, Workload &w)
+{
+    return std::make_unique<PersistRuntime>(
+        dev, cfg, w.launchConfig(), w.persistentStoresPerThread());
+}
+
 double
 overheadOf(Cycles baseline_cycles, Cycles lp_cycles)
 {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/persist.h"
 #include "core/recovery.h"
 #include "core/runtime.h"
 #include "sim/device.h"
@@ -83,6 +84,13 @@ class Workload
     virtual uint64_t outputBytes() const = 0;
 
     /**
+     * Maximum number of persistent stores a single thread performs in
+     * one kernel execution — sizes the eager model's per-thread undo
+     * log when the kernel runs under PersistModel::Eager.
+     */
+    virtual uint64_t persistentStoresPerThread() const { return 1; }
+
+    /**
      * Golden-output capture hook: the device-memory spans holding this
      * workload's persistent output, valid after setup(). The fault
      * campaign snapshots these after a crash-free run and byte-diffs
@@ -131,6 +139,17 @@ LaunchResult runBaseline(Device &dev, Workload &w);
 
 /** Run the LP-instrumented kernel once through @p lp. */
 LaunchResult runWithLp(Device &dev, Workload &w, LpRuntime &lp);
+
+/** Run the kernel once under whatever persistency model @p pr holds. */
+LaunchResult runWithPersist(Device &dev, Workload &w, PersistRuntime &pr);
+
+/**
+ * PersistRuntime sized for @p w: eager undo-log capacity comes from
+ * the workload's persistentStoresPerThread().
+ */
+std::unique_ptr<PersistRuntime> makePersistRuntime(Device &dev,
+                                                   const LpConfig &cfg,
+                                                   Workload &w);
 
 /**
  * Fractional overhead of @p lp_cycles versus @p baseline_cycles

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/eager.h"
 #include "core/runtime.h"
 #include "workloads/workload.h" // overheadOf
@@ -159,6 +161,135 @@ TEST(EpRuntimeTest, RecoverUndoLeavesCommittedRegionsAlone)
     EXPECT_EQ(data.hostAt(3), 0u);
 }
 
+TEST(EpRuntimeTest, CommitVerdictReadsDurableImageNotArena)
+{
+    // Regression: isCommittedHost() used to read the volatile arena.
+    // A commit-flag store that lands *after* the crash latch trips
+    // stays in the arena but never reaches the persistence domain;
+    // trusting it would skip the rollback of a torn region.
+    Device dev;
+    NvmCache nvm(dev.mem(), NvmParams{});
+    dev.attachNvm(&nvm);
+    LaunchConfig cfg(Dim3(1), Dim3(2));
+    auto data = ArrayRef<uint32_t>::allocate(dev.mem(), 2);
+    data.hostAt(0) = 11;
+    data.hostAt(1) = 22;
+    EpRuntime ep(dev, cfg, 4);
+    nvm.persistAll();
+
+    auto body = [&](ThreadCtx &t) {
+        EpRuntime::ThreadLog tlog;
+        uint64_t i = t.globalThreadIdx();
+        ep.protectedStore32(t, tlog, data.addrOf(i),
+                            static_cast<uint32_t>(100 + i));
+        ep.commitRegion(t);
+    };
+
+    // Dry run to count observed stores; the commit flag is the last.
+    nvm.resetStats();
+    dev.launch(cfg, body);
+    const uint64_t stores = nvm.stats().stores_observed;
+    ASSERT_GT(stores, 1u);
+
+    // Fresh run that loses power just before the commit-flag store:
+    // the flag lands in the arena but never persists.
+    ep.reset();
+    data.hostAt(0) = 11;
+    data.hostAt(1) = 22;
+    nvm.persistAll();
+    nvm.crashAfterStores(stores - 1);
+    dev.launch(cfg, body);
+
+    EXPECT_FALSE(ep.isCommittedHost(0))
+        << "commit verdict must come from the NVM-durable view, not "
+           "the arena the un-persisted flag store landed in";
+    nvm.crash();
+    EXPECT_FALSE(ep.isCommittedHost(0));
+    EXPECT_EQ(ep.recoverUndo(), 1u);
+    EXPECT_EQ(data.hostAt(0), 11u);
+    EXPECT_EQ(data.hostAt(1), 22u);
+}
+
+TEST(EpRuntimeTest, GarbageEntryTargetingAddressZeroIsSkippedByCrc)
+{
+    // Regression: entry validity used to be "target != kNullAddr", an
+    // in-band sentinel. A torn or garbage slot whose target field
+    // decoded to 0 was indistinguishable from an empty slot — rollback
+    // silently stopped trusting the rest of the scan order instead of
+    // rejecting the slot for what it is. Validity is out-of-band now
+    // (the per-entry CRC): the garbage slot is skipped explicitly and
+    // every genuine entry in the same log still rolls back.
+    Device dev;
+    NvmCache nvm(dev.mem(), NvmParams{});
+    dev.attachNvm(&nvm);
+    LaunchConfig cfg(Dim3(1), Dim3(1));
+    auto data = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    data.hostAt(0) = 777;
+    EpRuntime ep(dev, cfg, 2);
+    nvm.persistAll();
+
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        EpRuntime::ThreadLog tlog;
+        ep.protectedStore32(t, tlog, data.addrOf(0), 888);
+        // no commitRegion: the region stays open across the crash
+    });
+
+    // Forge a garbage slot *after* the genuine entry (scanned first by
+    // the newest-first rollback) whose target decodes to address 0.
+    const uint64_t tagged = EpRuntime::tagAddr(/*addr=*/0, 4);
+    const uint32_t garbage_old = 0xfeedfaceu;
+    const uint32_t bad_crc =
+        EpRuntime::entryCrc(tagged, garbage_old) ^ 0x80u;
+    char *slot = dev.mem().raw(ep.logEntryAddr(0, 1));
+    std::memcpy(slot, &tagged, 8);
+    std::memcpy(slot + 8, &garbage_old, 4);
+    std::memcpy(slot + 12, &bad_crc, 4);
+    nvm.persistRange(ep.logEntryAddr(0, 1), EpRuntime::kLogEntryBytes);
+
+    nvm.crash();
+    EXPECT_EQ(ep.recoverUndo(), 1u);
+    EXPECT_EQ(data.hostAt(0), 777u)
+        << "the genuine entry behind the garbage slot must still be "
+           "applied";
+    uint32_t head = 0;
+    std::memcpy(&head, dev.mem().raw(0), 4);
+    EXPECT_EQ(head, 0u) << "the garbage entry must not be applied to "
+                           "the reserved null address";
+}
+
+TEST(EpRuntimeTest, GarbageLogEntryIsRejectedByCrc)
+{
+    // A torn or garbage log slot must not be "undone" into the data.
+    // Without the per-entry CRC, any slot with a plausible nonzero
+    // target word was trusted.
+    Device dev;
+    NvmCache nvm(dev.mem(), NvmParams{});
+    dev.attachNvm(&nvm);
+    auto data = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    data.hostAt(0) = 31337;
+    LaunchConfig cfg(Dim3(1), Dim3(1));
+    EpRuntime ep(dev, cfg, 2);
+
+    // Forge an entry targeting the (valid, in-range) data address with
+    // a garbage old-value and a CRC that does not match.
+    const uint64_t tagged = EpRuntime::tagAddr(data.addrOf(0), 4);
+    const uint32_t garbage_old = 0xdeadbeefu;
+    const uint32_t bad_crc =
+        EpRuntime::entryCrc(tagged, garbage_old) ^ 0x1u;
+    char *slot = dev.mem().raw(ep.logEntryAddr(0, 0));
+    std::memcpy(slot, &tagged, 8);
+    std::memcpy(slot + 8, &garbage_old, 4);
+    std::memcpy(slot + 12, &bad_crc, 4);
+    nvm.persistAll();
+    nvm.crash();
+
+    // Block 0 is uncommitted, so recovery scans its log — and must
+    // skip the forged entry.
+    ep.recoverUndo();
+    EXPECT_EQ(data.hostAt(0), 31337u)
+        << "a CRC-invalid log entry must never be applied";
+}
+
 TEST(EpRuntimeTest, ResetClearsState)
 {
     Device dev;
@@ -173,6 +304,33 @@ TEST(EpRuntimeTest, ResetClearsState)
     EXPECT_TRUE(ep.isCommittedHost(0));
     ep.reset();
     EXPECT_FALSE(ep.isCommittedHost(0));
+}
+
+TEST(EpRuntimeTest, ResetPersistsTheClearedCommitFlags)
+{
+    // Regression: reset() used to memset the arena only. The durable
+    // image kept the previous run's commit flags, and the next crash
+    // rewind resurrected them — masking an uncommitted region.
+    Device dev;
+    NvmCache nvm(dev.mem(), NvmParams{});
+    dev.attachNvm(&nvm);
+    LaunchConfig cfg(Dim3(1), Dim3(1));
+    auto data = ArrayRef<uint32_t>::allocate(dev.mem(), 1);
+    EpRuntime ep(dev, cfg, 2);
+    nvm.persistAll();
+
+    dev.launch(cfg, [&](ThreadCtx &t) {
+        EpRuntime::ThreadLog tlog;
+        ep.protectedStore32(t, tlog, data.addrOf(0), 5);
+        ep.commitRegion(t); // flag durably set
+    });
+    ASSERT_TRUE(ep.isCommittedHost(0));
+
+    ep.reset();
+    nvm.crash(); // power failure right after the reset
+    EXPECT_FALSE(ep.isCommittedHost(0))
+        << "reset must persist the cleared flags; a crash rewind must "
+           "not resurrect the previous run's commit";
 }
 
 TEST(EpVsLpTest, EpCostsFarMoreThanLp)

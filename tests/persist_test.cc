@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the persistency-model matrix (core/persist.h): model
+ * selection and labels, the PersistStrategy store protocol under
+ * strict/epoch-block/epoch-kernel/eager, durable commit verdicts, and
+ * the model-generic persistRecover() driver — including crashes that
+ * strike recovery itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/persist.h"
+
+namespace gpulp {
+namespace {
+
+const PersistModel kStrategyModels[] = {
+    PersistModel::Eager,
+    PersistModel::Strict,
+    PersistModel::EpochBlock,
+    PersistModel::EpochKernel,
+};
+
+TEST(PersistModelConfigTest, NamesRoundTrip)
+{
+    const PersistModel all[] = {
+        PersistModel::Lazy,        PersistModel::Eager,
+        PersistModel::Strict,      PersistModel::EpochBlock,
+        PersistModel::EpochKernel,
+    };
+    for (PersistModel m : all)
+        EXPECT_EQ(persistModelFromString(toString(m)), m);
+}
+
+TEST(PersistModelConfigTest, EnvSelectsModel)
+{
+    ::setenv("GPULP_PERSIST", "epoch-block", 1);
+    LpConfig cfg = applyConfigEnv(LpConfig::scalable());
+    ::unsetenv("GPULP_PERSIST");
+    EXPECT_EQ(cfg.persist, PersistModel::EpochBlock);
+}
+
+TEST(PersistModelConfigTest, LabelCarriesNonLazyModel)
+{
+    LpConfig cfg = LpConfig::scalable();
+    EXPECT_EQ(configLabel(cfg).find("lazy"), std::string::npos)
+        << "the default model stays implicit in labels";
+    cfg.persist = PersistModel::Strict;
+    EXPECT_NE(configLabel(cfg).find("strict"), std::string::npos);
+}
+
+TEST(PersistRuntimeTest, LazyModelWrapsLpRuntime)
+{
+    Device dev;
+    LaunchConfig cfg(Dim3(2), Dim3(4));
+    PersistRuntime pr(dev, LpConfig::scalable(), cfg);
+    EXPECT_EQ(pr.model(), PersistModel::Lazy);
+    EXPECT_EQ(pr.strategy(), nullptr);
+    ASSERT_NE(pr.lazy(), nullptr);
+    EXPECT_EQ(pr.context().strategy, nullptr);
+}
+
+TEST(PersistRuntimeTest, NonLazyModelsExposeAStrategy)
+{
+    for (PersistModel m : kStrategyModels) {
+        Device dev;
+        LaunchConfig cfg(Dim3(2), Dim3(4));
+        LpConfig lpc = LpConfig::scalable();
+        lpc.persist = m;
+        PersistRuntime pr(dev, lpc, cfg, /*undo_entries_per_thread=*/2);
+        ASSERT_NE(pr.strategy(), nullptr) << toString(m);
+        EXPECT_EQ(pr.strategy()->model(), m);
+        EXPECT_EQ(pr.lazy(), nullptr);
+        EXPECT_EQ(pr.context().strategy, pr.strategy());
+        EXPECT_GT(pr.footprintBytes(), 0u);
+    }
+}
+
+/** One protected store per thread, then the region commit. */
+KernelFn
+storeKernel(const LpContext *lp, ArrayRef<uint32_t> out)
+{
+    return [lp, out](ThreadCtx &t) {
+        PersistAccum acc = makePersistAccum(lp);
+        uint64_t i = t.globalThreadIdx();
+        persistStoreU32(t, lp, acc, out,  i,
+                        static_cast<uint32_t>(1000 + i));
+        persistRegionEnd(t, lp, acc);
+    };
+}
+
+TEST(PersistStrategyTest, CommittedRegionsSurviveACrash)
+{
+    for (PersistModel m : kStrategyModels) {
+        Device dev;
+        NvmCache nvm(dev.mem(), NvmParams{});
+        dev.attachNvm(&nvm);
+        LaunchConfig cfg(Dim3(2), Dim3(4));
+        auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 8);
+        LpConfig lpc = LpConfig::scalable();
+        lpc.persist = m;
+        PersistRuntime pr(dev, lpc, cfg, 2);
+        LpContext ctx = pr.context();
+        nvm.persistAll();
+
+        dev.launch(cfg, storeKernel(&ctx, out));
+        nvm.crash(); // power failure right after the kernel
+        for (uint64_t i = 0; i < 8; ++i)
+            EXPECT_EQ(out.hostAt(i), 1000 + i) << toString(m);
+        for (uint64_t b = 0; b < 2; ++b)
+            EXPECT_TRUE(pr.strategy()->isCommittedHost(b)) << toString(m);
+    }
+}
+
+TEST(PersistStrategyTest, SkippedRegionEndLeavesBlockUncommitted)
+{
+    for (PersistModel m : kStrategyModels) {
+        Device dev;
+        NvmCache nvm(dev.mem(), NvmParams{});
+        dev.attachNvm(&nvm);
+        LaunchConfig cfg(Dim3(2), Dim3(2));
+        auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 4);
+        LpConfig lpc = LpConfig::scalable();
+        lpc.persist = m;
+        PersistRuntime pr(dev, lpc, cfg, 2);
+        LpContext ctx = pr.context();
+        nvm.persistAll();
+
+        // Block 0 commits, block 1 "crashes" before its region end.
+        dev.launch(cfg, [&](ThreadCtx &t) {
+            PersistAccum acc = makePersistAccum(&ctx);
+            uint64_t i = t.globalThreadIdx();
+            persistStoreU32(t, &ctx, acc, out, i,
+                            static_cast<uint32_t>(i + 1));
+            if (t.blockRank() == 0)
+                persistRegionEnd(t, &ctx, acc);
+        });
+        nvm.crash();
+        EXPECT_TRUE(pr.strategy()->isCommittedHost(0)) << toString(m);
+        EXPECT_FALSE(pr.strategy()->isCommittedHost(1)) << toString(m);
+    }
+}
+
+TEST(PersistRecoverTest, RecoversACrashMidKernel)
+{
+    for (PersistModel m : kStrategyModels) {
+        Device dev;
+        NvmCache nvm(dev.mem(), NvmParams{});
+        dev.attachNvm(&nvm);
+        LaunchConfig cfg(Dim3(4), Dim3(8));
+        auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 32);
+        for (uint64_t i = 0; i < 32; ++i)
+            out.hostAt(i) = 7; // pre-state the eager log must capture
+        LpConfig lpc = LpConfig::scalable();
+        lpc.persist = m;
+        PersistRuntime pr(dev, lpc, cfg, 2);
+        LpContext ctx = pr.context();
+        KernelFn kernel = storeKernel(&ctx, out);
+        nvm.persistAll();
+
+        nvm.crashAfterStores(20); // mid-grid power failure
+        dev.launch(cfg, kernel);
+        RecoveryReport rep = persistRecover(dev, cfg, *pr.strategy(),
+                                            kernel);
+        EXPECT_TRUE(rep.converged) << toString(m);
+        EXPECT_GT(rep.blocks_failed, 0u) << toString(m);
+        EXPECT_EQ(rep.validate_cycles, 0u) << toString(m);
+
+        nvm.crash(); // the recovered state must itself be durable
+        for (uint64_t i = 0; i < 32; ++i)
+            EXPECT_EQ(out.hostAt(i), 1000 + i) << toString(m);
+        for (uint64_t b = 0; b < 4; ++b)
+            EXPECT_TRUE(pr.strategy()->isCommittedHost(b)) << toString(m);
+    }
+}
+
+TEST(PersistRecoverTest, AbsorbsACrashDuringRecovery)
+{
+    for (PersistModel m : kStrategyModels) {
+        Device dev;
+        NvmCache nvm(dev.mem(), NvmParams{});
+        dev.attachNvm(&nvm);
+        LaunchConfig cfg(Dim3(4), Dim3(8));
+        auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 32);
+        LpConfig lpc = LpConfig::scalable();
+        lpc.persist = m;
+        PersistRuntime pr(dev, lpc, cfg, 2);
+        LpContext ctx = pr.context();
+        KernelFn kernel = storeKernel(&ctx, out);
+        nvm.persistAll();
+
+        nvm.crashAfterStores(20);
+        dev.launch(cfg, kernel);
+        nvm.crash();
+        // A second power failure strikes while recovery re-executes.
+        nvm.crashAfterStores(6);
+        RecoveryReport rep = persistRecover(dev, cfg, *pr.strategy(),
+                                            kernel);
+        EXPECT_TRUE(rep.converged) << toString(m);
+        EXPECT_GE(rep.crashes_survived, 1u) << toString(m);
+        nvm.crash();
+        for (uint64_t i = 0; i < 32; ++i)
+            EXPECT_EQ(out.hostAt(i), 1000 + i) << toString(m);
+    }
+}
+
+TEST(PersistRecoverTest, EagerRollsBackBeforeReexecuting)
+{
+    // The undo log must restore the pre-region image before failed
+    // blocks re-run; a non-idempotent observer would otherwise see the
+    // crash's partial stores. Verify by crashing so that some stores
+    // of an uncommitted block persisted, then checking that recovery
+    // still converges to the clean result.
+    Device dev;
+    NvmCache nvm(dev.mem(), NvmParams{});
+    dev.attachNvm(&nvm);
+    LaunchConfig cfg(Dim3(2), Dim3(4));
+    auto out = ArrayRef<uint32_t>::allocate(dev.mem(), 8);
+    for (uint64_t i = 0; i < 8; ++i)
+        out.hostAt(i) = 40 + static_cast<uint32_t>(i);
+    LpConfig lpc = LpConfig::scalable();
+    lpc.persist = PersistModel::Eager;
+    PersistRuntime pr(dev, lpc, cfg, 2);
+    LpContext ctx = pr.context();
+    KernelFn kernel = storeKernel(&ctx, out);
+    nvm.persistAll();
+
+    // Eager flushes every store, so a mid-kernel cut leaves a prefix
+    // of new values durable in an uncommitted region.
+    nvm.crashAfterStores(10);
+    dev.launch(cfg, kernel);
+    nvm.crash();
+
+    uint64_t rolled = pr.strategy()->rollback();
+    EXPECT_GT(rolled, 0u);
+    // Rolled-back slots are back to the pre-region image.
+    for (uint64_t i = 0; i < 8; ++i) {
+        uint32_t v = out.hostAt(i);
+        EXPECT_TRUE(v == 40 + i || v == 1000 + i)
+            << "slot " << i << " holds " << v
+            << ", neither pre-region nor committed value";
+    }
+
+    RecoveryReport rep = persistRecover(dev, cfg, *pr.strategy(), kernel);
+    EXPECT_TRUE(rep.converged);
+    nvm.crash();
+    for (uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(out.hostAt(i), 1000 + i);
+}
+
+} // namespace
+} // namespace gpulp

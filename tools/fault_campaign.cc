@@ -13,6 +13,7 @@
  * Usage:
  *   fault_campaign [--scale F] [--seed N] [--grid N] [--random N]
  *                  [--workers N] [--workloads a,b,c]
+ *                  [--models lazy,eager,strict,epoch-block,epoch-kernel]
  *                  [--tables quad,cuckoo,array,bucket2,bucket2opt]
  *                  [--checksums modular,parity,both]
  *                  [--json PATH] [--trace PATH] [--quiet]
@@ -72,6 +73,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--scale F] [--seed N] [--grid N] [--random N]\n"
         "          [--workers N] [--workloads a,b,c]\n"
+        "          [--models lazy,eager,strict,epoch-block,"
+        "epoch-kernel]\n"
         "          [--tables quad,cuckoo,array,bucket2,bucket2opt]\n"
         "          [--checksums modular,parity,both]\n"
         "          [--json PATH] [--trace PATH] [--quiet]\n",
@@ -110,6 +113,10 @@ main(int argc, char **argv)
                 parseU64(value("--workers"), "--workers"));
         } else if (std::strcmp(argv[i], "--workloads") == 0) {
             opts.workloads = splitList(value("--workloads"));
+        } else if (std::strcmp(argv[i], "--models") == 0) {
+            opts.models.clear();
+            for (const std::string &m : splitList(value("--models")))
+                opts.models.push_back(persistModelFromString(m));
         } else if (std::strcmp(argv[i], "--tables") == 0) {
             opts.tables.clear();
             for (const std::string &t : splitList(value("--tables")))
@@ -153,10 +160,11 @@ main(int argc, char **argv)
                 ffails += t.false_fails;
             }
             std::printf(
-                "%-14s %-7s %-8s %3zu points  %5llu corrupt  "
+                "%-14s %-12s %-7s %-8s %3zu points  %5llu corrupt  "
                 "%5llu recovered  %4llu torn  %3llu false-fail  "
                 "%llu false-pass  %s\n",
-                cell.workload.c_str(), toString(cell.table),
+                cell.workload.c_str(), toString(cell.model),
+                toString(cell.table),
                 toString(cell.checksum), cell.trials.size(),
                 static_cast<unsigned long long>(corrupt),
                 static_cast<unsigned long long>(recovered),
